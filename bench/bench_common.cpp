@@ -1,0 +1,98 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "support/log.h"
+
+namespace fed::bench {
+
+BenchOptions parse_options(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  BenchOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.scale = flags.get_double("scale", 1.0);
+  options.epochs = static_cast<std::size_t>(flags.get_int("epochs", 20));
+  options.rounds_override =
+      static_cast<std::size_t>(flags.get_int("rounds", 0));
+  options.out_dir = flags.get_string("out-dir", "bench_out");
+  options.quick = flags.get_bool("quick", false);
+  for (const auto& name : flags.unused()) {
+    log_warn() << "ignoring unknown flag --" << name;
+  }
+  if (options.quick) {
+    options.scale = std::min(options.scale, 0.1);
+  }
+  return options;
+}
+
+Workload load_workload(const std::string& name, const BenchOptions& options) {
+  return make_workload(name, options.seed, options.scale);
+}
+
+void apply_rounds(TrainerConfig& config, const Workload& workload,
+                  const BenchOptions& options) {
+  config.rounds = options.rounds_override ? options.rounds_override
+                                          : workload.default_rounds;
+  if (options.quick) {
+    config.rounds = std::max<std::size_t>(2, config.rounds / 20);
+  }
+  config.devices_per_round =
+      std::min(config.devices_per_round, workload.data.num_clients());
+}
+
+const char* metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kTrainLoss: return "training loss";
+    case Metric::kTestAccuracy: return "testing accuracy";
+    case Metric::kGradVariance: return "variance of local gradients";
+    case Metric::kMu: return "mu";
+  }
+  return "?";
+}
+
+std::string render_series(const std::vector<VariantResult>& results,
+                          Metric metric) {
+  // Collect the union of evaluated rounds (they normally coincide).
+  std::map<std::size_t, std::vector<std::string>> rows;
+  std::vector<std::string> header{"round"};
+  for (std::size_t v = 0; v < results.size(); ++v) {
+    header.push_back(results[v].label);
+    for (const auto& m : results[v].history.rounds) {
+      if (!m.evaluated) continue;
+      auto& row = rows[m.round];
+      row.resize(results.size(), "-");
+      double value = 0.0;
+      switch (metric) {
+        case Metric::kTrainLoss: value = m.train_loss; break;
+        case Metric::kTestAccuracy: value = m.test_accuracy; break;
+        case Metric::kGradVariance:
+          if (!m.dissimilarity_measured) continue;
+          value = m.grad_variance;
+          break;
+        case Metric::kMu: value = m.mu; break;
+      }
+      row[v] = TablePrinter::fmt(value, 4);
+    }
+  }
+  TablePrinter table(header);
+  for (const auto& [round, cells] : rows) {
+    std::vector<std::string> row{std::to_string(round)};
+    row.insert(row.end(), cells.begin(), cells.end());
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+void print_banner(const std::string& figure, const std::string& description) {
+  std::cout << "==============================================================="
+               "=\n"
+            << figure << " — " << description << "\n"
+            << "(FedProx reproduction; synthetic stand-ins for real datasets, "
+               "see DESIGN.md)\n"
+            << "==============================================================="
+               "=\n";
+}
+
+}  // namespace fed::bench

@@ -1,0 +1,55 @@
+// Shared scaffolding for the figure/table reproduction drivers.
+//
+// Every driver accepts:
+//   --rounds N       override the per-dataset default round count
+//   --scale S        dataset scale factor in (0, 1] (device counts etc.)
+//   --seed S         experiment seed (default 1)
+//   --epochs E       local epochs E (default 20, the paper's Figure 1/2)
+//   --out-dir DIR    where CSVs land (default bench_out/)
+//   --quick          very small run for smoke-testing the harness
+// and prints the paper-style series table to stdout plus a CSV per figure.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "support/cli.h"
+#include "support/csv.h"
+
+namespace fed::bench {
+
+struct BenchOptions {
+  std::uint64_t seed = 1;
+  double scale = 1.0;
+  std::size_t epochs = 20;
+  std::size_t rounds_override = 0;  // 0 = workload default
+  std::string out_dir = "bench_out";
+  bool quick = false;
+};
+
+// Parses the shared flags; warns about unknown ones.
+BenchOptions parse_options(int argc, char** argv);
+
+// Loads a workload applying --scale/--quick/--rounds and dividing round
+// counts when quick mode is on.
+Workload load_workload(const std::string& name, const BenchOptions& options);
+
+// Applies the round override / quick shrink to a config built from the
+// workload defaults.
+void apply_rounds(TrainerConfig& config, const Workload& workload,
+                  const BenchOptions& options);
+
+// Renders one metric (selected by `metric`) of every variant against the
+// evaluated rounds, one column per variant — the paper's "series".
+enum class Metric { kTrainLoss, kTestAccuracy, kGradVariance, kMu };
+std::string render_series(const std::vector<VariantResult>& results,
+                          Metric metric);
+const char* metric_name(Metric metric);
+
+// Prints the standard experiment banner.
+void print_banner(const std::string& figure, const std::string& description);
+
+}  // namespace fed::bench

@@ -1,0 +1,124 @@
+// Kernel microbenchmarks (google-benchmark): the hot paths of the
+// simulator — GEMV/GEMM, logistic and LSTM loss+gradient, and one local
+// SGD epoch — so regressions in the substrate are visible in isolation.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "nn/lstm.h"
+#include "optim/sgd.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace fed {
+namespace {
+
+void BM_Gemv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n);
+  for (double& v : a.storage()) v = rng.normal();
+  Vector x(n), y(n);
+  for (double& v : x) v = rng.normal();
+  for (auto _ : state) {
+    gemv(ConstMatrixView(a.storage(), n, n), x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Gemv)->Arg(64)->Arg(256)->Arg(784);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Matrix a(n, n), b(n, n), c(n, n);
+  for (double& v : a.storage()) v = rng.normal();
+  for (double& v : b.storage()) v = rng.normal();
+  for (auto _ : state) {
+    gemm(ConstMatrixView(a.storage(), n, n), ConstMatrixView(b.storage(), n, n),
+         MatrixView(c.storage(), n, n));
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(128);
+
+void BM_LogisticLossGrad(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  LogisticRegression model(784, 10);
+  Rng rng(3);
+  Dataset data;
+  data.features = Matrix(batch_size, 784);
+  for (double& v : data.features.storage()) v = rng.normal();
+  data.labels.resize(batch_size);
+  for (auto& y : data.labels) {
+    y = static_cast<std::int32_t>(rng.uniform_int(std::uint64_t{10}));
+  }
+  Vector w(model.parameter_count(), 0.01), grad(w.size());
+  const auto batch = full_batch(batch_size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.loss_and_grad(w, data, batch, grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_LogisticLossGrad)->Arg(10)->Arg(64);
+
+void BM_LstmLossGrad(benchmark::State& state) {
+  const auto seq_len = static_cast<std::size_t>(state.range(0));
+  LstmConfig config;
+  config.vocab_size = 40;
+  config.embed_dim = 8;
+  config.hidden_dim = 24;
+  config.num_layers = 2;
+  config.num_classes = 40;
+  LstmClassifier model(config);
+  Rng rng(4);
+  Dataset data;
+  data.tokens.resize(10);
+  data.labels.resize(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    data.tokens[i].resize(seq_len);
+    for (auto& t : data.tokens[i]) {
+      t = static_cast<std::int32_t>(rng.uniform_int(std::uint64_t{40}));
+    }
+    data.labels[i] = static_cast<std::int32_t>(rng.uniform_int(std::uint64_t{40}));
+  }
+  Vector w(model.parameter_count()), grad(w.size());
+  model.init_parameters(w, rng);
+  const auto batch = full_batch(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.loss_and_grad(w, data, batch, grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_LstmLossGrad)->Arg(12)->Arg(25);
+
+void BM_LocalSgdEpoch(benchmark::State& state) {
+  SyntheticConfig config = synthetic_config(1.0, 1.0, 5);
+  config.num_devices = 1;
+  config.min_samples = 200;
+  config.sigma_log = 0.01;
+  const FederatedDataset fed = make_synthetic(config);
+  LogisticRegression model(fed.input_dim, fed.num_classes);
+  Vector anchor(model.parameter_count(), 0.0);
+  LocalProblem problem{&model, &fed.clients[0].train, anchor, 1.0, {}};
+  const std::size_t iters =
+      iterations_for_epochs(1, fed.clients[0].train.size(), 10);
+  SolveBudget budget{.iterations = iters, .batch_size = 10,
+                     .learning_rate = 0.01};
+  SgdSolver solver;
+  for (auto _ : state) {
+    Rng rng(6);
+    Vector w = anchor;
+    solver.solve(problem, budget, rng, w);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_LocalSgdEpoch);
+
+}  // namespace
+}  // namespace fed
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Quickstart: train FedProx on the paper's Synthetic(1,1) dataset and
+// watch the global loss fall.
+//
+//   ./quickstart [--rounds 50] [--mu 1.0] [--stragglers 0.5]
+
+#include <iostream>
+
+#include "core/registry.h"
+#include "core/trainer.h"
+#include "support/cli.h"
+#include "support/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace fed;
+  CliFlags flags(argc, argv);
+
+  // 1. Build a federated dataset and its model. Workloads bundle the
+  //    paper's hyper-parameters; you can also construct datasets and
+  //    models directly (see the other examples).
+  const Workload workload = make_workload("synthetic_1_1", /*seed=*/1);
+  std::cout << "dataset: " << workload.data.name << " with "
+            << workload.data.num_clients() << " devices, "
+            << workload.data.total_train_samples() << " training samples\n";
+
+  // 2. Configure FedProx: K=10 devices per round, E=20 local epochs,
+  //    proximal coefficient mu, and a straggler fraction to simulate
+  //    systems heterogeneity.
+  TrainerConfig config = fedprox_config(flags.get_double("mu", 1.0));
+  config.rounds = static_cast<std::size_t>(flags.get_int("rounds", 50));
+  config.devices_per_round = 10;
+  config.systems.epochs = 20;
+  config.systems.straggler_fraction = flags.get_double("stragglers", 0.5);
+  config.learning_rate = workload.learning_rate;
+  config.eval_every = 5;
+
+  // 3. Train, printing each evaluated round.
+  Trainer trainer(*workload.model, workload.data, config);
+  trainer.set_round_callback([](const RoundMetrics& m) {
+    if (!m.evaluated) return;
+    std::cout << "round " << m.round << ": loss "
+              << TablePrinter::fmt(m.train_loss) << ", test accuracy "
+              << TablePrinter::fmt(m.test_accuracy) << "\n";
+  });
+  const TrainHistory history = trainer.run();
+
+  std::cout << "\nfinal loss " << history.final_metrics().train_loss
+            << ", final test accuracy "
+            << history.final_metrics().test_accuracy << "\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The paper's adaptive-mu heuristic (Section 5.3.2, Figures 3 and 11):
+// increase mu by `step` whenever the global training loss increases, and
+// decrease it by `step` after `patience` consecutive decreases. mu never
+// goes below zero.
+
+#pragma once
+
+#include <cstddef>
+
+namespace fed {
+
+class AdaptiveMu {
+ public:
+  AdaptiveMu(double initial_mu, double step = 0.1, std::size_t patience = 5);
+
+  // Feeds the loss observed after a round; returns the mu to use for the
+  // next round.
+  double update(double loss);
+
+  double mu() const { return mu_; }
+
+ private:
+  double mu_;
+  double step_;
+  std::size_t patience_;
+  double last_loss_ = 0.0;
+  bool has_last_ = false;
+  std::size_t consecutive_decreases_ = 0;
+};
+
+// Theory-guided mu (the paper's stated future work, "based, e.g., on the
+// theoretical groundwork provided here"): Corollary 7 shows convergence
+// with mu ~ 6 L B^2, i.e. the penalty should scale with the measured
+// dissimilarity. This controller sets
+//   mu_t = clamp(coefficient * (B_ema^2 - 1), 0, max_mu)
+// where B_ema is an exponential moving average of the measured B(w^t)
+// (Definition 3). B = 1 (IID) maps to mu = 0; larger dissimilarity maps
+// to a proportionally stronger proximal term. The absolute scale (the
+// paper's 6L) is unknown without estimating L, so it is exposed as
+// `coefficient`.
+class DissimilarityMu {
+ public:
+  DissimilarityMu(double coefficient, double max_mu = 10.0,
+                  double smoothing = 0.5);
+
+  // Feeds a new measurement of B(w^t); returns the mu for the next round.
+  double update(double measured_b);
+
+  double mu() const { return mu_; }
+
+ private:
+  double coefficient_;
+  double max_mu_;
+  double smoothing_;  // EMA weight on the previous estimate, in [0, 1)
+  double b_sq_ema_ = 1.0;
+  bool has_estimate_ = false;
+  double mu_ = 0.0;
+};
+
+}  // namespace fed

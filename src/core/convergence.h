@@ -1,0 +1,72 @@
+// The paper's convergence machinery, computable: Theorem 4's expected
+// per-round decrease coefficient rho, Remark 5's sufficient conditions,
+// Corollary 7's mu prescription, and Corollary 10's bounded-variance
+// conversion — together with empirical estimators for the smoothness
+// constants they need. This lets a user check, on their own federated
+// problem, whether the theory certifies a given (mu, K, gamma)
+// configuration (see examples/theory_dashboard).
+
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "support/rng.h"
+#include "support/threadpool.h"
+
+namespace fed {
+
+struct ConvergenceInputs {
+  double mu = 1.0;       // proximal coefficient
+  double gamma = 0.0;    // gamma-inexactness of local solves (Def. 1)
+  double b = 1.0;        // dissimilarity bound B (Def. 3 / Assumption 1)
+  double k = 10.0;       // devices per round
+  double l = 1.0;        // Lipschitz-smoothness constant of the F_k
+  double l_minus = 0.0;  // curvature lower bound: Hessian >= -l_minus I
+};
+
+// Theorem 4's rho. Requires mu_bar = mu - l_minus > 0 (throws otherwise);
+// rho > 0 certifies E[f(w^{t+1})] <= f(w^t) - rho ||grad f(w^t)||^2.
+double theorem4_rho(const ConvergenceInputs& in);
+
+// Remark 5's sufficient conditions for rho > 0 to be achievable:
+// gamma * B < 1 and B / sqrt(K) < 1.
+bool remark5_conditions(double gamma, double b, double k);
+
+// Corollary 7's prescription for the convex, exactly-solved case:
+// mu ~ 6 L B^2 (valid under 1 << B <= 0.5 sqrt(K)).
+double corollary7_mu(double l, double b);
+
+// Corollary 10: converts a bounded-variance constant sigma^2 and target
+// accuracy epsilon into the dissimilarity bound B <= sqrt(1 + sigma^2/eps).
+double corollary10_b(double sigma_sq, double epsilon);
+
+// Finds the smallest mu (binary search over [l_minus + tiny, mu_max])
+// with theorem4_rho > 0, or a negative value if none exists in range.
+double smallest_certified_mu(ConvergenceInputs in, double mu_max = 1e6);
+
+// Empirical smoothness estimates for F(w) = mean loss of `model` on
+// `data`, probed along `probes` random unit directions at `w` with step
+// `step`:
+//   l       ~ max_u ||grad F(w + step u) - grad F(w)|| / step
+//   l_minus ~ max(0, -min_u <u, grad F(w + step u) - grad F(w)> / step)
+// Lower bounds of the true constants; adequate for the dashboard's
+// order-of-magnitude certification.
+struct SmoothnessEstimate {
+  double l = 0.0;
+  double l_minus = 0.0;
+};
+SmoothnessEstimate estimate_smoothness(const Model& model, const Dataset& data,
+                                       std::span<const double> w,
+                                       std::size_t probes, double step,
+                                       Rng& rng);
+
+// Pools the per-device smoothness over a federation: max of the
+// per-device estimates (the theorem assumes every F_k is L-smooth).
+SmoothnessEstimate estimate_federated_smoothness(const Model& model,
+                                                 const FederatedDataset& data,
+                                                 std::span<const double> w,
+                                                 std::size_t probes,
+                                                 double step, std::uint64_t seed,
+                                                 ThreadPool* pool = nullptr);
+
+}  // namespace fed

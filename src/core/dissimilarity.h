@@ -1,0 +1,33 @@
+// B-local dissimilarity (Definition 3) and the gradient-variance metric
+// the paper plots (Figures 2, 6, 8):
+//
+//   B(w)^2 = E_k[ ||grad F_k(w)||^2 ] / ||grad f(w)||^2
+//   Var(w) = E_k[ ||grad F_k(w) - grad f(w)||^2 ]
+//
+// with E_k weighted by p_k = n_k/n and grad f(w) = sum_k p_k grad F_k(w).
+// By Corollary 10, Var = (B^2 - 1) ||grad f||^2, so the variance is the
+// quantity that certifies the bounded-variance form of the assumption.
+
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "support/threadpool.h"
+
+namespace fed {
+
+struct DissimilarityMetrics {
+  double grad_norm_f = 0.0;        // ||grad f(w)||
+  double expected_sq_norm = 0.0;   // E_k ||grad F_k(w)||^2
+  double variance = 0.0;           // E_k ||grad F_k(w) - grad f(w)||^2
+  double b = 1.0;                  // B(w); defined as 1 at joint stationarity
+};
+
+// Full-federation measurement (one full-batch gradient per device).
+// `pool` may be nullptr.
+DissimilarityMetrics measure_dissimilarity(const Model& model,
+                                           const FederatedDataset& data,
+                                           std::span<const double> w,
+                                           ThreadPool* pool);
+
+}  // namespace fed

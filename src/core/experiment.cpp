@@ -1,0 +1,115 @@
+#include "core/experiment.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/log.h"
+#include "support/stopwatch.h"
+
+namespace fed {
+
+TrainerConfig base_config(const Workload& workload, Algorithm algorithm,
+                          double mu, double straggler_fraction,
+                          std::size_t epochs, std::uint64_t seed) {
+  TrainerConfig c;
+  c.algorithm = algorithm;
+  c.mu = mu;
+  c.rounds = workload.default_rounds;
+  c.devices_per_round = std::min<std::size_t>(10, workload.data.num_clients());
+  c.batch_size = workload.batch_size;
+  c.learning_rate = workload.learning_rate;
+  c.systems.straggler_fraction = straggler_fraction;
+  c.systems.epochs = epochs;
+  c.seed = seed;
+  c.eval_every = workload.default_eval_every;
+  return c;
+}
+
+std::vector<VariantResult> run_variants(const Workload& workload,
+                                        const std::vector<VariantSpec>& specs,
+                                        bool verbose) {
+  std::vector<VariantResult> results;
+  results.reserve(specs.size());
+  for (const auto& spec : specs) {
+    Stopwatch timer;
+    Trainer trainer(*workload.model, workload.data, spec.config);
+    VariantResult r{spec.label, trainer.run()};
+    if (verbose) {
+      const auto& fin = r.history.final_metrics();
+      log_info() << workload.name << " | " << spec.label << " | loss "
+                 << fin.train_loss << " | test acc " << fin.test_accuracy
+                 << " | " << timer.seconds() << "s";
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<std::string> history_csv_header() {
+  return {"dataset",     "variant",        "round",
+          "train_loss",  "train_accuracy", "test_accuracy",
+          "grad_variance", "dissimilarity_b", "mu",
+          "contributors", "stragglers"};
+}
+
+void append_history_csv(CsvWriter& csv, const std::string& dataset,
+                        const std::vector<VariantResult>& results) {
+  for (const auto& r : results) {
+    for (const auto& m : r.history.rounds) {
+      if (!m.evaluated) continue;
+      std::ostringstream variance, dis_b;
+      if (m.dissimilarity_measured) {
+        variance << m.grad_variance;
+        dis_b << m.dissimilarity_b;
+      }
+      csv.write_row({dataset, r.label, std::to_string(m.round),
+                     std::to_string(m.train_loss),
+                     std::to_string(m.train_accuracy),
+                     std::to_string(m.test_accuracy), variance.str(),
+                     dis_b.str(), std::to_string(m.mu),
+                     std::to_string(m.contributors),
+                     std::to_string(m.stragglers)});
+    }
+  }
+}
+
+double settled_accuracy(const TrainHistory& history) {
+  std::vector<const RoundMetrics*> evaluated;
+  for (const auto& m : history.rounds) {
+    if (m.evaluated) evaluated.push_back(&m);
+  }
+  if (evaluated.empty()) {
+    throw std::logic_error("settled_accuracy: no evaluated rounds");
+  }
+  for (std::size_t i = 1; i < evaluated.size(); ++i) {
+    const double f_t = evaluated[i]->train_loss;
+    const double f_prev = evaluated[i - 1]->train_loss;
+    if (!std::isfinite(f_t)) {
+      // Diverged to NaN/inf: read accuracy just before the blow-up.
+      return evaluated[i - 1]->test_accuracy;
+    }
+    if (std::abs(f_t - f_prev) < 1e-4) return evaluated[i]->test_accuracy;
+    if (i >= 10 && f_t - evaluated[i - 10]->train_loss > 1.0) {
+      return evaluated[i]->test_accuracy;
+    }
+  }
+  return evaluated.back()->test_accuracy;
+}
+
+std::string trajectory_string(const TrainHistory& history,
+                              std::size_t points) {
+  const auto series = history.loss_series();
+  if (series.empty()) return "(no evaluations)";
+  std::ostringstream out;
+  out.precision(4);
+  const std::size_t n = series.size();
+  const std::size_t count = std::min(points, n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t idx = (count == 1) ? n - 1 : i * (n - 1) / (count - 1);
+    if (i) out << " -> ";
+    out << "r" << series[idx].first << ":" << series[idx].second;
+  }
+  return out.str();
+}
+
+}  // namespace fed

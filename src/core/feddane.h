@@ -1,0 +1,32 @@
+// FedDane gradient correction (Appendix B, Figure 4): DANE/AIDE's local
+// objective adapted to federated sampling. Each selected device solves
+//
+//   h_k(w) = F_k(w) + <grad~f(w^t) - grad F_k(w^t), w> + (mu/2)||w - w^t||^2
+//
+// where grad~f(w^t) is the full gradient of f estimated from the sampled
+// devices only (weighted by n_k). The staleness/inexactness of this
+// estimate under low participation is exactly what Figure 4 shows to
+// hurt convergence on non-IID data.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "support/threadpool.h"
+#include "tensor/tensor.h"
+
+namespace fed {
+
+// Computes grad F_k(w) for each selected device (full batch) and the
+// n_k-weighted average grad~f(w). Returns per-device correction vectors
+// grad~f - grad F_k, indexed like `selected`.
+std::vector<Vector> feddane_corrections(const Model& model,
+                                        const FederatedDataset& data,
+                                        std::span<const std::size_t> selected,
+                                        std::span<const double> w,
+                                        ThreadPool* pool);
+
+}  // namespace fed

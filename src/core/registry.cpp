@@ -1,0 +1,125 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+#include "data/image_like.h"
+#include "data/sequence.h"
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "nn/lstm.h"
+
+namespace fed {
+
+std::vector<std::string> workload_names() {
+  return {"synthetic_iid", "synthetic_0_0", "synthetic_0.5_0.5",
+          "synthetic_1_1", "mnist",         "femnist",
+          "shakespeare",   "sent140"};
+}
+
+std::vector<std::string> synthetic_workload_names() {
+  return {"synthetic_iid", "synthetic_0_0", "synthetic_0.5_0.5",
+          "synthetic_1_1"};
+}
+
+std::vector<std::string> figure1_workload_names() {
+  return {"synthetic_1_1", "mnist", "femnist", "shakespeare", "sent140"};
+}
+
+Workload make_workload(const std::string& name, std::uint64_t seed,
+                       double scale) {
+  Workload w;
+  w.name = name;
+
+  if (name == "synthetic_iid" || name == "synthetic_0_0" ||
+      name == "synthetic_0.5_0.5" || name == "synthetic_1_1") {
+    SyntheticConfig config;
+    if (name == "synthetic_iid") {
+      config = synthetic_iid_config(seed);
+    } else if (name == "synthetic_0_0") {
+      config = synthetic_config(0.0, 0.0, seed);
+    } else if (name == "synthetic_0.5_0.5") {
+      config = synthetic_config(0.5, 0.5, seed);
+    } else {
+      config = synthetic_config(1.0, 1.0, seed);
+    }
+    w.data = make_synthetic(config);
+    w.model = std::make_shared<LogisticRegression>(w.data.input_dim,
+                                                   w.data.num_classes);
+    // The paper tunes the learning rate per dataset via grid search on
+    // FedAvg with E=1 (Appendix C.2; 0.01 on their generator's draw).
+    // The same protocol on this generator's draw selects 0.03, which also
+    // reproduces the paper's E=20 instability shape (see EXPERIMENTS.md).
+    w.learning_rate = 0.03;
+    w.default_rounds = 200;
+    w.best_mu = 1.0;         // Section 5.3.2
+    return w;
+  }
+
+  if (name == "mnist") {
+    w.data = make_image_like(mnist_like_config(seed, scale));
+    w.model = std::make_shared<LogisticRegression>(w.data.input_dim,
+                                                   w.data.num_classes);
+    w.learning_rate = 0.03;  // Appendix C.2
+    w.default_rounds = 100;  // paper: 400; scaled for CPU budget
+    w.default_eval_every = 2;
+    w.best_mu = 1.0;
+    return w;
+  }
+
+  if (name == "femnist") {
+    w.data = make_image_like(femnist_like_config(seed, scale));
+    w.model = std::make_shared<LogisticRegression>(w.data.input_dim,
+                                                   w.data.num_classes);
+    // Tuned on this generator's draw via the paper's protocol (FedAvg,
+    // E=1 grid); the paper's own FEMNIST uses 0.003.
+    w.learning_rate = 0.03;
+    w.default_rounds = 100;   // paper: 200; scaled
+    w.default_eval_every = 2;
+    w.best_mu = 1.0;
+    return w;
+  }
+
+  if (name == "shakespeare") {
+    w.data = make_next_char(shakespeare_like_config(seed, scale));
+    LstmConfig lstm;
+    lstm.vocab_size = w.data.vocab_size;
+    lstm.embed_dim = 8;       // paper: 8-d learned embedding
+    lstm.hidden_dim = 16;     // paper: 100; scaled
+    lstm.num_layers = 2;
+    lstm.num_classes = w.data.num_classes;
+    lstm.trainable_embedding = true;
+    w.model = std::make_shared<LstmClassifier>(lstm);
+    // Tuned on this generator's draw (paper's own Shakespeare uses 0.8).
+    w.learning_rate = 0.3;
+    w.default_rounds = 20;    // matches the paper's 20-round horizon
+    w.default_eval_every = 2;
+    w.best_mu = 0.001;
+    return w;
+  }
+
+  if (name == "sent140") {
+    w.data = make_sentiment(sent140_like_config(seed, scale));
+    LstmConfig lstm;
+    lstm.vocab_size = w.data.vocab_size;
+    lstm.embed_dim = 16;      // paper: frozen 300-d GloVe; scaled
+    lstm.hidden_dim = 16;     // paper: 256; scaled
+    lstm.num_layers = 2;
+    lstm.num_classes = 2;
+    lstm.trainable_embedding = false;
+    lstm.frozen_embedding =
+        std::make_shared<EmbeddingTable>(w.data.vocab_size, 16, seed);
+    w.model = std::make_shared<LstmClassifier>(lstm);
+    // Tuned on this generator's draw (the paper's own Sent140 uses 0.3;
+    // 0.3 here destabilizes even mu > 0 at E = 20).
+    w.learning_rate = 0.1;
+    w.default_rounds = 21;    // paper: 800; scaled for CPU budget
+    w.default_eval_every = 3;
+    w.best_mu = 0.01;
+    return w;
+  }
+
+  throw std::invalid_argument("make_workload: unknown workload '" + name +
+                              "'");
+}
+
+}  // namespace fed

@@ -1,0 +1,53 @@
+// Named workloads: dataset + model + the paper's hyper-parameters, as
+// used by every bench driver and example.
+//
+//   synthetic_iid, synthetic(0,0), synthetic(0.5,0.5), synthetic(1,1)
+//     -> Synthetic(alpha,beta), logistic regression 60 -> 10, lr 0.01
+//   mnist     -> mnist-like substitute, logistic regression 784 -> 10, lr 0.03
+//   femnist   -> femnist-like substitute, logistic regression 784 -> 10, lr 0.003
+//   shakespeare -> next-char substitute, 2-layer LSTM, trainable embedding
+//   sent140   -> sentiment substitute, 2-layer LSTM, frozen embedding
+//
+// `scale` shrinks device counts (and for sequence tasks, stream lengths)
+// so CI-sized runs finish quickly; 1.0 reproduces the full structure.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace fed {
+
+struct Workload {
+  std::string name;
+  FederatedDataset data;
+  std::shared_ptr<const Model> model;
+  double learning_rate = 0.01;
+  std::size_t batch_size = 10;
+  std::size_t default_rounds = 200;
+  std::size_t default_eval_every = 1;
+  // The best mu from the paper's grid {0.001, 0.01, 0.1, 1} for this
+  // dataset (Section 5.3.2: 1, 1, 1, 0.001, 0.01 for synthetic(1,1),
+  // mnist, femnist, shakespeare, sent140).
+  double best_mu = 1.0;
+};
+
+// Valid names: synthetic_iid, synthetic_0_0, synthetic_0.5_0.5,
+// synthetic_1_1, mnist, femnist, shakespeare, sent140.
+Workload make_workload(const std::string& name, std::uint64_t seed = 1,
+                       double scale = 1.0);
+
+// All valid workload names, in the order the paper presents them.
+std::vector<std::string> workload_names();
+
+// The four synthetic datasets of Figure 2, left to right.
+std::vector<std::string> synthetic_workload_names();
+
+// The five datasets of Figure 1 (synthetic(1,1) + the four real tasks).
+std::vector<std::string> figure1_workload_names();
+
+}  // namespace fed

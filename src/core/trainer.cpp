@@ -1,0 +1,259 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/feddane.h"
+#include "optim/sgd.h"
+#include "sim/aggregate.h"
+#include "sim/client.h"
+#include "sim/server.h"
+#include "support/log.h"
+#include "tensor/ops.h"
+
+namespace fed {
+
+std::string to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFedAvg: return "FedAvg";
+    case Algorithm::kFedProx: return "FedProx";
+    case Algorithm::kFedDane: return "FedDane";
+  }
+  return "?";
+}
+
+TrainerConfig fedavg_config() {
+  TrainerConfig c;
+  c.algorithm = Algorithm::kFedAvg;
+  c.mu = 0.0;
+  return c;
+}
+
+TrainerConfig fedprox_config(double mu) {
+  TrainerConfig c;
+  c.algorithm = Algorithm::kFedProx;
+  c.mu = mu;
+  return c;
+}
+
+TrainerConfig feddane_config(double mu) {
+  TrainerConfig c;
+  c.algorithm = Algorithm::kFedDane;
+  c.mu = mu;
+  return c;
+}
+
+const RoundMetrics& TrainHistory::final_metrics() const {
+  for (auto it = rounds.rbegin(); it != rounds.rend(); ++it) {
+    if (it->evaluated) return *it;
+  }
+  throw std::logic_error("TrainHistory: no evaluated round");
+}
+
+std::vector<std::pair<std::size_t, double>> TrainHistory::loss_series() const {
+  std::vector<std::pair<std::size_t, double>> out;
+  for (const auto& r : rounds) {
+    if (r.evaluated) out.emplace_back(r.round, r.train_loss);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, double>> TrainHistory::accuracy_series()
+    const {
+  std::vector<std::pair<std::size_t, double>> out;
+  for (const auto& r : rounds) {
+    if (r.evaluated) out.emplace_back(r.round, r.test_accuracy);
+  }
+  return out;
+}
+
+bool TrainHistory::diverged(double threshold) const {
+  for (const auto& r : rounds) {
+    if (r.evaluated &&
+        (!std::isfinite(r.train_loss) || r.train_loss > threshold)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Trainer::Trainer(const Model& model, const FederatedDataset& data,
+                 TrainerConfig config, ThreadPool* pool)
+    : model_(model),
+      data_(data),
+      config_(std::move(config)),
+      external_pool_(pool) {
+  if (config_.rounds == 0 || config_.devices_per_round == 0 ||
+      config_.devices_per_round > data_.num_clients()) {
+    throw std::invalid_argument("Trainer: bad rounds/devices_per_round");
+  }
+  if (config_.mu < 0.0) throw std::invalid_argument("Trainer: mu < 0");
+  if (config_.adaptive_mu.enabled && config_.theory_mu.enabled) {
+    throw std::invalid_argument(
+        "Trainer: adaptive_mu and theory_mu are mutually exclusive");
+  }
+  if (config_.theory_mu.enabled) config_.measure_dissimilarity = true;
+  if (config_.eval_every == 0) config_.eval_every = 1;
+  if (!config_.solver) config_.solver = std::make_shared<SgdSolver>();
+}
+
+TrainHistory Trainer::run() {
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = external_pool_;
+  if (!pool) {
+    owned_pool = std::make_unique<ThreadPool>(config_.threads);
+    pool = owned_pool.get();
+  }
+
+  const std::size_t d = model_.parameter_count();
+  const auto pk = data_.client_weights();
+
+  Vector w(d);
+  if (config_.initial_parameters) {
+    if (config_.initial_parameters->size() != d) {
+      throw std::invalid_argument(
+          "Trainer: initial_parameters dimension mismatch");
+    }
+    w = *config_.initial_parameters;
+  } else {
+    Rng init_rng = make_stream(config_.seed, StreamKind::kModelInit);
+    model_.init_parameters(w, init_rng);
+  }
+
+  std::optional<AdaptiveMu> adaptive;
+  std::optional<DissimilarityMu> theory;
+  double mu = config_.mu;
+  if (config_.adaptive_mu.enabled) {
+    adaptive.emplace(config_.adaptive_mu.initial_mu, config_.adaptive_mu.step,
+                     config_.adaptive_mu.patience);
+    mu = adaptive->mu();
+  } else if (config_.theory_mu.enabled) {
+    theory.emplace(config_.theory_mu.coefficient, config_.theory_mu.max_mu,
+                   config_.theory_mu.smoothing);
+    mu = theory->mu();
+  }
+
+  TrainHistory history;
+  history.rounds.reserve(config_.rounds + 1);
+
+  // Round 0 metrics: the initial model (the paper's plots start at w^0).
+  auto evaluate_round = [&](std::size_t round, RoundMetrics& m) {
+    const GlobalEval eval = evaluate_global(model_, data_, w, pool);
+    m.evaluated = true;
+    m.train_loss = eval.train_loss;
+    m.train_accuracy = eval.train_accuracy;
+    m.test_accuracy = eval.test_accuracy;
+    if (config_.measure_dissimilarity) {
+      const auto dis = measure_dissimilarity(model_, data_, w, pool);
+      m.grad_variance = dis.variance;
+      m.dissimilarity_b = dis.b;
+      m.dissimilarity_measured = true;
+    }
+    (void)round;
+  };
+
+  {
+    RoundMetrics m;
+    m.round = config_.first_round;
+    m.mu = mu;
+    evaluate_round(config_.first_round, m);
+    history.rounds.push_back(m);
+    if (callback_) callback_(history.rounds.back());
+    if (adaptive) mu = adaptive->update(m.train_loss);
+    if (theory && m.dissimilarity_measured) {
+      mu = theory->update(m.dissimilarity_b);
+    }
+  }
+
+  for (std::size_t step = 0; step < config_.rounds; ++step) {
+    const std::size_t t = config_.first_round + step;
+    // 1. Select devices (deterministic in (seed, round); identical across
+    //    algorithms under the same seed).
+    const auto selected = select_devices(config_.sampling, pk,
+                                         config_.devices_per_round,
+                                         config_.seed, t);
+
+    // 2. Assign systems budgets (who straggles, how much work each gets).
+    std::vector<std::size_t> train_sizes(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      train_sizes[i] = data_.clients[selected[i]].train.size();
+    }
+    const auto budgets =
+        assign_budgets(config_.systems, config_.seed, t, selected, train_sizes,
+                       config_.batch_size);
+
+    // 3. FedDane: estimate the full gradient from the sampled devices.
+    std::vector<Vector> corrections;
+    if (config_.algorithm == Algorithm::kFedDane) {
+      corrections = feddane_corrections(model_, data_, selected, w, pool);
+    }
+
+    // 4. Local solves, in parallel across devices.
+    ClientRoundConfig client_config{.mu = mu,
+                                    .batch_size = config_.batch_size,
+                                    .learning_rate = config_.learning_rate,
+                                    .clip_norm = config_.clip_norm,
+                                    .measure_gamma = config_.measure_gamma};
+    std::vector<ClientResult> results(selected.size());
+    pool->parallel_for(selected.size(), [&](std::size_t i) {
+      Rng minibatch_rng =
+          make_stream(config_.seed, StreamKind::kMinibatch, t, selected[i] + 1);
+      std::span<const double> correction;
+      if (!corrections.empty()) correction = corrections[i];
+      results[i] = run_client(model_, data_.clients[selected[i]], w,
+                              *config_.solver, budgets[i], client_config,
+                              correction, minibatch_rng);
+    });
+
+    // 5. Aggregate. FedAvg drops stragglers; FedProx/FedDane keep them.
+    std::vector<Contribution> contributions;
+    std::size_t straggler_total = 0;
+    for (const auto& r : results) {
+      if (r.straggler) ++straggler_total;
+      if (config_.algorithm == Algorithm::kFedAvg && r.straggler) continue;
+      contributions.push_back(
+          {r.device, &r.update, static_cast<double>(r.num_samples)});
+    }
+    const bool updated = aggregate(config_.sampling, contributions, w);
+    if (!updated) {
+      log_debug() << "round " << t
+                  << ": every selected device was dropped; keeping w";
+    }
+
+    // 6. Record metrics.
+    RoundMetrics m;
+    m.round = t + 1;
+    m.mu = mu;
+    m.contributors = contributions.size();
+    m.stragglers = straggler_total;
+    if (config_.measure_gamma) {
+      double total = 0.0;
+      std::size_t count = 0;
+      for (const auto& r : results) {
+        if (r.gamma_measured) {
+          total += r.gamma;
+          ++count;
+        }
+      }
+      if (count > 0) {
+        m.mean_gamma = total / static_cast<double>(count);
+        m.gamma_measured = true;
+      }
+    }
+    const bool do_eval =
+        ((t + 1) % config_.eval_every == 0) || (step + 1 == config_.rounds);
+    if (do_eval) evaluate_round(t + 1, m);
+    history.rounds.push_back(m);
+    if (callback_) callback_(history.rounds.back());
+
+    if (adaptive && m.evaluated) mu = adaptive->update(m.train_loss);
+    if (theory && m.evaluated && m.dissimilarity_measured) {
+      mu = theory->update(m.dissimilarity_b);
+    }
+  }
+
+  history.final_parameters = std::move(w);
+  return history;
+}
+
+}  // namespace fed

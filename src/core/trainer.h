@@ -1,0 +1,150 @@
+// The federated training loop — the public entry point of the library.
+//
+// One Trainer runs Algorithm 1 (FedAvg) or Algorithm 2 (FedProx), or the
+// FedDane baseline, against a FederatedDataset and a Model:
+//
+//   FederatedDataset data = make_synthetic(synthetic_config(1, 1));
+//   LogisticRegression model(data.input_dim, data.num_classes);
+//   TrainerConfig cfg = fedprox_config(/*mu=*/1.0);
+//   TrainHistory history = Trainer(model, data, cfg).run();
+//
+// FedAvg is the special case: mu = 0, SGD local solver, and stragglers
+// dropped at aggregation (Section 3.2). FedProx keeps partial solutions
+// and adds the proximal term. All randomness (device selection,
+// stragglers, mini-batches) is keyed by (seed, round, device) so compared
+// configurations face identical conditions.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/adaptive_mu.h"
+#include "core/dissimilarity.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "optim/solver.h"
+#include "sim/sampling.h"
+#include "sim/systems.h"
+#include "support/threadpool.h"
+
+namespace fed {
+
+enum class Algorithm {
+  kFedAvg,   // drop stragglers; canonical config also sets mu = 0
+  kFedProx,  // aggregate partial work; proximal term mu
+  kFedDane,  // FedProx aggregation + DANE gradient correction
+};
+
+std::string to_string(Algorithm algorithm);
+
+struct AdaptiveMuConfig {
+  bool enabled = false;
+  double initial_mu = 0.0;
+  double step = 0.1;
+  std::size_t patience = 5;
+};
+
+// Theory-guided mu from the measured dissimilarity (Corollary 7; see
+// DissimilarityMu). Enabling this forces per-evaluation dissimilarity
+// measurement. Mutually exclusive with AdaptiveMuConfig.
+struct TheoryMuConfig {
+  bool enabled = false;
+  double coefficient = 0.05;  // mu = coefficient * (B^2 - 1)
+  double max_mu = 10.0;
+  double smoothing = 0.5;
+};
+
+struct TrainerConfig {
+  Algorithm algorithm = Algorithm::kFedProx;
+  double mu = 0.0;
+  AdaptiveMuConfig adaptive_mu;
+  TheoryMuConfig theory_mu;
+
+  std::size_t rounds = 200;             // T
+  std::size_t devices_per_round = 10;   // K
+  std::size_t batch_size = 10;
+  double learning_rate = 0.01;
+  double clip_norm = 0.0;               // 0 = no gradient clipping
+
+  SystemsConfig systems;                // E and straggler fraction
+  SamplingScheme sampling = SamplingScheme::kUniformThenWeightedAverage;
+
+  std::uint64_t seed = 7;
+
+  // Evaluation cadence: round metrics are computed every `eval_every`
+  // rounds (and always on the final round).
+  std::size_t eval_every = 1;
+  bool measure_gamma = false;
+  bool measure_dissimilarity = false;
+
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  // Local solver; nullptr means SGD (the paper's choice).
+  std::shared_ptr<const LocalSolver> solver;
+  // Warm start: when set, training begins from these parameters instead
+  // of the model's seeded initialization (e.g. a loaded checkpoint).
+  // `first_round` offsets the round counter so selection/straggler/batch
+  // streams continue where the checkpointed run left off.
+  std::optional<Vector> initial_parameters;
+  std::size_t first_round = 0;
+};
+
+// Canonical configurations used throughout the benches.
+TrainerConfig fedavg_config();
+TrainerConfig fedprox_config(double mu);
+TrainerConfig feddane_config(double mu);
+
+struct RoundMetrics {
+  std::size_t round = 0;
+  bool evaluated = false;       // the fields below are valid
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double grad_variance = 0.0;   // valid iff dissimilarity measured
+  double dissimilarity_b = 0.0;
+  bool dissimilarity_measured = false;
+  double mu = 0.0;              // mu in effect this round
+  double mean_gamma = 0.0;      // valid iff gamma measured
+  bool gamma_measured = false;
+  std::size_t contributors = 0; // devices aggregated this round
+  std::size_t stragglers = 0;   // stragglers among selected
+};
+
+struct TrainHistory {
+  std::vector<RoundMetrics> rounds;
+  Vector final_parameters;
+
+  // Metrics of the last evaluated round. Throws if nothing was evaluated.
+  const RoundMetrics& final_metrics() const;
+  // Loss/accuracy series restricted to evaluated rounds.
+  std::vector<std::pair<std::size_t, double>> loss_series() const;
+  std::vector<std::pair<std::size_t, double>> accuracy_series() const;
+  // True if any evaluated round saw a non-finite or clearly diverging
+  // loss (> threshold).
+  bool diverged(double threshold = 1e4) const;
+};
+
+class Trainer {
+ public:
+  // `model` and `data` must outlive the trainer. An external ThreadPool
+  // can be shared across trainers; otherwise one is created per run.
+  Trainer(const Model& model, const FederatedDataset& data,
+          TrainerConfig config, ThreadPool* pool = nullptr);
+
+  TrainHistory run();
+
+  // Optional per-round observer (called after each round's metrics are
+  // recorded), e.g. for live printing.
+  using RoundCallback = std::function<void(const RoundMetrics&)>;
+  void set_round_callback(RoundCallback cb) { callback_ = std::move(cb); }
+
+ private:
+  const Model& model_;
+  const FederatedDataset& data_;
+  TrainerConfig config_;
+  ThreadPool* external_pool_;
+  RoundCallback callback_;
+};
+
+}  // namespace fed

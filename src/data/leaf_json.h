@@ -1,0 +1,42 @@
+// LEAF-format dataset interchange (Caldas et al., "LEAF: A Benchmark for
+// Federated Settings" — the benchmark suite the paper's real datasets are
+// curated from). LEAF stores each split as JSON:
+//
+//   {
+//     "users":       ["u000", "u001", ...],
+//     "num_samples": [n0, n1, ...],
+//     "user_data":   { "u000": {"x": [...], "y": [...]}, ... }
+//   }
+//
+// Dense tasks store each x as a flat feature list; sequence tasks store
+// each x as a list of integer token ids (LEAF's raw-text variants are
+// tokenized upstream). This module exports this repo's FederatedDataset
+// to that layout and imports it back, so experiments can run on real
+// LEAF data when it is available instead of the synthetic stand-ins.
+
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fed {
+
+struct LeafMetadata {
+  std::string name;
+  std::size_t num_classes = 0;
+  std::size_t input_dim = 0;   // dense tasks
+  std::size_t vocab_size = 0;  // sequence tasks
+};
+
+// Writes `<prefix>_train.json` and `<prefix>_test.json` (plus
+// `<prefix>_meta.json` carrying LeafMetadata). Users are named
+// "u<index>" in client order.
+void export_leaf(const FederatedDataset& data, const std::string& prefix);
+
+// Reads a dataset written by export_leaf, or any LEAF-layout pair of
+// files plus a metadata file. Client order follows the "users" array of
+// the train split; users absent from the test split get empty test sets.
+FederatedDataset import_leaf(const std::string& prefix);
+
+}  // namespace fed

@@ -1,0 +1,65 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fed {
+
+std::vector<std::vector<std::int32_t>> assign_class_shards(
+    std::size_t num_devices, std::size_t num_classes,
+    std::size_t classes_per_device, Rng& rng) {
+  if (classes_per_device > num_classes) {
+    throw std::invalid_argument(
+        "assign_class_shards: classes_per_device > num_classes");
+  }
+  std::vector<std::vector<std::int32_t>> out(num_devices);
+  // Draw from a repeatedly reshuffled deck of class labels so overall
+  // class usage stays balanced; re-draw a deck position when it would
+  // duplicate a class already held by the device.
+  std::vector<std::int32_t> deck;
+  std::size_t pos = 0;
+  auto refill = [&] {
+    deck.resize(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      deck[c] = static_cast<std::int32_t>(c);
+    }
+    rng.shuffle(deck);
+    pos = 0;
+  };
+  refill();
+  for (std::size_t k = 0; k < num_devices; ++k) {
+    auto& mine = out[k];
+    std::size_t guard = 0;
+    while (mine.size() < classes_per_device) {
+      if (pos >= deck.size()) refill();
+      const std::int32_t c = deck[pos++];
+      if (std::find(mine.begin(), mine.end(), c) == mine.end()) {
+        mine.push_back(c);
+      } else if (++guard > 16 * num_classes) {
+        // Deck order is pathologically unlucky; restart the deck.
+        refill();
+        guard = 0;
+      }
+    }
+    std::sort(mine.begin(), mine.end());
+  }
+  return out;
+}
+
+std::vector<std::size_t> split_count(std::size_t total, std::size_t parts,
+                                     Rng& rng) {
+  if (parts == 0) throw std::invalid_argument("split_count: zero parts");
+  std::vector<std::size_t> out(parts, 0);
+  if (total >= parts) {
+    // Guarantee one sample per part, distribute the rest uniformly.
+    for (auto& v : out) v = 1;
+    for (std::size_t i = 0; i < total - parts; ++i) {
+      out[rng.uniform_int(parts)] += 1;
+    }
+  } else {
+    for (std::size_t i = 0; i < total; ++i) out[rng.uniform_int(parts)] += 1;
+  }
+  return out;
+}
+
+}  // namespace fed

@@ -1,0 +1,32 @@
+// Non-IID partitioning helpers.
+//
+// The paper's real-data setups induce statistical heterogeneity by label
+// sharding: MNIST is spread over 1000 devices with only 2 digits each;
+// FEMNIST gives each of 200 devices 5 of 10 classes; sample counts per
+// device follow a power law. These helpers reproduce that structure for
+// the synthetic stand-in generators.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace fed {
+
+// Assigns `classes_per_device` distinct class labels to each of
+// `num_devices` devices, balancing total usage of every class (shuffled
+// round-robin over class shards, like the canonical label-shard split).
+// Requires classes_per_device <= num_classes.
+std::vector<std::vector<std::int32_t>> assign_class_shards(
+    std::size_t num_devices, std::size_t num_classes,
+    std::size_t classes_per_device, Rng& rng);
+
+// Splits `total` samples across `parts` classes roughly evenly with
+// multinomial jitter; every part gets at least one sample when
+// total >= parts.
+std::vector<std::size_t> split_count(std::size_t total, std::size_t parts,
+                                     Rng& rng);
+
+}  // namespace fed

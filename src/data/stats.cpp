@@ -1,0 +1,44 @@
+#include "data/stats.h"
+
+#include <cmath>
+
+#include "support/csv.h"
+
+namespace fed {
+
+DatasetStats compute_stats(const FederatedDataset& data) {
+  DatasetStats s;
+  s.name = data.name;
+  s.devices = data.num_clients();
+  std::vector<double> per_device;
+  per_device.reserve(s.devices);
+  for (const auto& c : data.clients) {
+    const auto n = c.train.size() + c.test.size();
+    s.samples += n;
+    per_device.push_back(static_cast<double>(n));
+  }
+  if (!per_device.empty()) {
+    double mean = 0.0;
+    for (double v : per_device) mean += v;
+    mean /= static_cast<double>(per_device.size());
+    double var = 0.0;
+    for (double v : per_device) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(per_device.size());
+    s.mean_per_device = mean;
+    s.stdev_per_device = std::sqrt(var);
+  }
+  return s;
+}
+
+std::string format_stats_table(const std::vector<DatasetStats>& rows) {
+  TablePrinter table({"Dataset", "Devices", "Samples", "Samples/device mean",
+                      "Samples/device stdev"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, std::to_string(r.devices), std::to_string(r.samples),
+                   TablePrinter::fmt(r.mean_per_device, 1),
+                   TablePrinter::fmt(r.stdev_per_device, 1)});
+  }
+  return table.render();
+}
+
+}  // namespace fed

@@ -1,0 +1,25 @@
+// Table-1-style dataset statistics: devices, samples, mean and stdev of
+// samples per device.
+
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fed {
+
+struct DatasetStats {
+  std::string name;
+  std::size_t devices = 0;
+  std::size_t samples = 0;        // train + test, as in Table 1
+  double mean_per_device = 0.0;
+  double stdev_per_device = 0.0;  // population stdev over devices
+};
+
+DatasetStats compute_stats(const FederatedDataset& data);
+
+// Renders one aligned table for several datasets (the Table 1 layout).
+std::string format_stats_table(const std::vector<DatasetStats>& rows);
+
+}  // namespace fed

@@ -1,0 +1,53 @@
+// Umbrella header: everything a downstream user needs to run federated
+// optimization experiments with this library.
+//
+//   #include "fedprox.h"
+//
+//   fed::Workload w = fed::make_workload("synthetic_1_1");
+//   fed::TrainerConfig cfg = fed::fedprox_config(/*mu=*/1.0);
+//   cfg.systems.straggler_fraction = 0.9;
+//   fed::TrainHistory h = fed::Trainer(*w.model, w.data, cfg).run();
+
+#pragma once
+
+#include "core/adaptive_mu.h"
+#include "core/convergence.h"
+#include "core/dissimilarity.h"
+#include "core/experiment.h"
+#include "core/feddane.h"
+#include "core/registry.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/image_like.h"
+#include "data/leaf_json.h"
+#include "data/partition.h"
+#include "data/sequence.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "nn/embedding.h"
+#include "nn/grad_check.h"
+#include "nn/logistic.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "optim/adam.h"
+#include "optim/gd.h"
+#include "optim/inexactness.h"
+#include "optim/prox_sgd.h"
+#include "optim/sgd.h"
+#include "sim/aggregate.h"
+#include "sim/client.h"
+#include "sim/sampling.h"
+#include "sim/server.h"
+#include "sim/systems.h"
+#include "support/cli.h"
+#include "support/csv.h"
+#include "support/json.h"
+#include "support/log.h"
+#include "support/rng.h"
+#include "support/serialize.h"
+#include "support/stopwatch.h"
+#include "support/threadpool.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"

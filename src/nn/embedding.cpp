@@ -1,0 +1,25 @@
+#include "nn/embedding.h"
+
+#include <stdexcept>
+
+namespace fed {
+
+EmbeddingTable::EmbeddingTable(std::size_t vocab_size, std::size_t dim,
+                               std::uint64_t seed, double scale)
+    : table_(vocab_size, dim) {
+  if (vocab_size == 0 || dim == 0) {
+    throw std::invalid_argument("EmbeddingTable: bad shape");
+  }
+  Rng rng = make_stream(seed, StreamKind::kModelInit,
+                        /*a=*/0x9e3779b9u ^ vocab_size, dim);
+  for (double& v : table_.storage()) v = rng.normal(0.0, scale);
+}
+
+std::span<const double> EmbeddingTable::lookup(std::int32_t token) const {
+  if (token < 0 || static_cast<std::size_t>(token) >= table_.rows()) {
+    throw std::out_of_range("EmbeddingTable: token out of range");
+  }
+  return table_.row(static_cast<std::size_t>(token));
+}
+
+}  // namespace fed

@@ -1,0 +1,37 @@
+// Token embedding tables.
+//
+// The paper's Sent140 model looks tokens up in a frozen pre-trained GloVe
+// table; its Shakespeare model learns an 8-d embedding end-to-end. Both
+// modes are supported: a frozen EmbeddingTable owned outside the model
+// (our GloVe stand-in is a deterministic random table), or a trainable
+// block inside the model's flat parameter vector (see LstmClassifier).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "support/rng.h"
+#include "tensor/tensor.h"
+
+namespace fed {
+
+class EmbeddingTable {
+ public:
+  // Builds a frozen vocab_size x dim table with N(0, scale) entries drawn
+  // deterministically from `seed`. Stand-in for pre-trained embeddings.
+  EmbeddingTable(std::size_t vocab_size, std::size_t dim, std::uint64_t seed,
+                 double scale = 0.3);
+
+  std::size_t vocab_size() const { return table_.rows(); }
+  std::size_t dim() const { return table_.cols(); }
+
+  // Row for a token id. Token must be in [0, vocab_size).
+  std::span<const double> lookup(std::int32_t token) const;
+
+ private:
+  Matrix table_;
+};
+
+}  // namespace fed

@@ -1,0 +1,42 @@
+// Multinomial logistic regression — the convex model the paper uses for
+// the synthetic, MNIST, and FEMNIST tasks (y = argmax softmax(Wx + b)).
+//
+// Parameter layout in the flat vector: [W (classes x dim, row-major) | b].
+
+#pragma once
+
+#include "nn/module.h"
+
+namespace fed {
+
+class LogisticRegression final : public Model {
+ public:
+  LogisticRegression(std::size_t input_dim, std::size_t num_classes);
+
+  std::string name() const override { return "logistic_regression"; }
+  std::size_t parameter_count() const override {
+    return num_classes_ * input_dim_ + num_classes_;
+  }
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+  void init_parameters(std::span<double> w, Rng& rng) const override;
+  double loss_and_grad(std::span<const double> w, const Dataset& data,
+                       std::span<const std::size_t> batch,
+                       std::span<double> grad) const override;
+  double loss(std::span<const double> w, const Dataset& data,
+              std::span<const std::size_t> batch) const override;
+  void predict(std::span<const double> w, const Dataset& data,
+               std::span<const std::size_t> batch,
+               std::vector<std::int32_t>& out) const override;
+
+ private:
+  void logits_for(std::span<const double> w, std::span<const double> x,
+                  std::span<double> logits) const;
+
+  std::size_t input_dim_;
+  std::size_t num_classes_;
+};
+
+}  // namespace fed

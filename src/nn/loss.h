@@ -1,0 +1,28 @@
+// Loss primitives shared by the models: softmax cross-entropy and binary
+// cross-entropy, each returning loss and the gradient w.r.t. logits.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fed {
+
+// Computes softmax cross-entropy of `logits` against class `label`.
+// On return, `logits` is overwritten with dLoss/dLogits = softmax - onehot.
+// Returns the loss value.
+double softmax_cross_entropy_grad(std::span<double> logits,
+                                  std::int32_t label);
+
+// Loss only (logits preserved).
+double softmax_cross_entropy(std::span<const double> logits,
+                             std::int32_t label);
+
+// Binary cross-entropy with a single logit and label in {0,1}.
+// grad_logit receives dLoss/dLogit = sigmoid(logit) - label.
+double binary_cross_entropy_grad(double logit, std::int32_t label,
+                                 double& grad_logit);
+
+double binary_cross_entropy(double logit, std::int32_t label);
+
+}  // namespace fed

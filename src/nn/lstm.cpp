@@ -1,0 +1,363 @@
+#include "nn/lstm.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace fed {
+
+namespace {
+// Gate block offsets within the 4H pre-activation vector.
+enum Gate { kInput = 0, kForget = 1, kCandidate = 2, kOutput = 3 };
+}  // namespace
+
+LstmClassifier::LstmClassifier(LstmConfig config) : config_(std::move(config)) {
+  const auto& c = config_;
+  if (c.vocab_size == 0 || c.embed_dim == 0 || c.hidden_dim == 0 ||
+      c.num_layers == 0 || c.num_classes < 2) {
+    throw std::invalid_argument("LstmClassifier: bad config");
+  }
+  if (!c.trainable_embedding) {
+    if (!c.frozen_embedding) {
+      throw std::invalid_argument(
+          "LstmClassifier: frozen_embedding required when not trainable");
+    }
+    if (c.frozen_embedding->vocab_size() != c.vocab_size ||
+        c.frozen_embedding->dim() != c.embed_dim) {
+      throw std::invalid_argument(
+          "LstmClassifier: frozen embedding shape mismatch");
+    }
+  }
+  param_count_ = c.trainable_embedding ? c.vocab_size * c.embed_dim : 0;
+  for (std::size_t l = 0; l < c.num_layers; ++l) {
+    param_count_ += layer_param_count(l);
+  }
+  param_count_ += c.num_classes * c.hidden_dim + c.num_classes;
+}
+
+std::size_t LstmClassifier::layer_param_count(std::size_t layer) const {
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t in = layer_input_dim(layer);
+  return 4 * h * in + 4 * h * h + 4 * h;
+}
+
+LstmClassifier::Views LstmClassifier::view(std::span<const double> w) const {
+  assert(w.size() == param_count_);
+  Views v{.embedding = {},
+          .layers = {},
+          .w_out = ConstMatrixView({}, 0, 0),
+          .b_out = {}};
+  const std::size_t h = config_.hidden_dim;
+  std::size_t off = 0;
+  if (config_.trainable_embedding) {
+    v.embedding = w.subspan(0, config_.vocab_size * config_.embed_dim);
+    off += v.embedding.size();
+  }
+  v.layers.reserve(config_.num_layers);
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    const std::size_t in = layer_input_dim(l);
+    ConstMatrixView wx(w.subspan(off, 4 * h * in), 4 * h, in);
+    off += 4 * h * in;
+    ConstMatrixView wh(w.subspan(off, 4 * h * h), 4 * h, h);
+    off += 4 * h * h;
+    auto b = w.subspan(off, 4 * h);
+    off += 4 * h;
+    v.layers.push_back({wx, wh, b});
+  }
+  v.w_out = ConstMatrixView(w.subspan(off, config_.num_classes * h),
+                            config_.num_classes, h);
+  off += config_.num_classes * h;
+  v.b_out = w.subspan(off, config_.num_classes);
+  return v;
+}
+
+void LstmClassifier::init_parameters(std::span<double> w, Rng& rng) const {
+  assert(w.size() == param_count_);
+  const std::size_t h = config_.hidden_dim;
+  std::size_t off = 0;
+  if (config_.trainable_embedding) {
+    for (std::size_t i = 0; i < config_.vocab_size * config_.embed_dim; ++i) {
+      w[off++] = rng.normal(0.0, 0.1);
+    }
+  }
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    const std::size_t in = layer_input_dim(l);
+    const double sx = 1.0 / std::sqrt(static_cast<double>(in));
+    const double sh = 1.0 / std::sqrt(static_cast<double>(h));
+    for (std::size_t i = 0; i < 4 * h * in; ++i) {
+      w[off++] = rng.uniform(-sx, sx);
+    }
+    for (std::size_t i = 0; i < 4 * h * h; ++i) {
+      w[off++] = rng.uniform(-sh, sh);
+    }
+    for (std::size_t g = 0; g < 4; ++g) {
+      const double bias = (g == kForget) ? config_.forget_bias : 0.0;
+      for (std::size_t i = 0; i < h; ++i) w[off++] = bias;
+    }
+  }
+  const double so = 1.0 / std::sqrt(static_cast<double>(h));
+  for (std::size_t i = 0; i < config_.num_classes * h; ++i) {
+    w[off++] = rng.uniform(-so, so);
+  }
+  for (std::size_t i = 0; i < config_.num_classes; ++i) w[off++] = 0.0;
+  assert(off == param_count_);
+}
+
+void LstmClassifier::LayerTrace::resize(std::size_t t, std::size_t h,
+                                        std::size_t in) {
+  gate_i = Matrix(t, h);
+  gate_f = Matrix(t, h);
+  gate_g = Matrix(t, h);
+  gate_o = Matrix(t, h);
+  cell = Matrix(t, h);
+  hidden = Matrix(t, h);
+  input = Matrix(t, in);
+}
+
+void LstmClassifier::embed(const Views& p, std::int32_t tok,
+                           std::span<double> dst) const {
+  if (tok < 0 || static_cast<std::size_t>(tok) >= config_.vocab_size) {
+    throw std::out_of_range("LstmClassifier: token out of range");
+  }
+  if (config_.trainable_embedding) {
+    copy(p.embedding.subspan(static_cast<std::size_t>(tok) * config_.embed_dim,
+                             config_.embed_dim),
+         dst);
+  } else {
+    copy(config_.frozen_embedding->lookup(tok), dst);
+  }
+}
+
+void LstmClassifier::forward(const Views& p,
+                             std::span<const std::int32_t> seq,
+                             std::vector<LayerTrace>* traces,
+                             std::span<double> final_hidden) const {
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t t_len = seq.size();
+  assert(t_len > 0);
+
+  if (traces) {
+    traces->resize(config_.num_layers);
+    for (std::size_t l = 0; l < config_.num_layers; ++l) {
+      (*traces)[l].resize(t_len, h, layer_input_dim(l));
+    }
+  }
+
+  // Per-layer running state.
+  std::vector<Vector> h_prev(config_.num_layers, Vector(h, 0.0));
+  std::vector<Vector> c_prev(config_.num_layers, Vector(h, 0.0));
+  Vector x(config_.embed_dim);
+  Vector z(4 * h);
+  Vector layer_in;  // input to the current layer at this timestep
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    embed(p, seq[t], x);
+    layer_in = x;
+    for (std::size_t l = 0; l < config_.num_layers; ++l) {
+      const LayerView& lay = p.layers[l];
+      // z = Wx * in + Wh * h_prev + b
+      gemv(lay.wx, layer_in, z);
+      gemv_accumulate(lay.wh, h_prev[l], z);
+      add(z, lay.b, z);
+      Vector& cp = c_prev[l];
+      Vector& hp = h_prev[l];
+      if (traces) copy(layer_in, (*traces)[l].input.row(t));
+      for (std::size_t j = 0; j < h; ++j) {
+        const double gi = sigmoid(z[kInput * h + j]);
+        const double gf = sigmoid(z[kForget * h + j]);
+        const double gg = std::tanh(z[kCandidate * h + j]);
+        const double go = sigmoid(z[kOutput * h + j]);
+        const double c_new = gf * cp[j] + gi * gg;
+        const double h_new = go * std::tanh(c_new);
+        if (traces) {
+          LayerTrace& tr = (*traces)[l];
+          tr.gate_i(t, j) = gi;
+          tr.gate_f(t, j) = gf;
+          tr.gate_g(t, j) = gg;
+          tr.gate_o(t, j) = go;
+          tr.cell(t, j) = c_new;
+          tr.hidden(t, j) = h_new;
+        }
+        cp[j] = c_new;
+        hp[j] = h_new;
+      }
+      layer_in = hp;  // feeds the next layer
+    }
+  }
+  copy(h_prev.back(), final_hidden);
+}
+
+double LstmClassifier::loss_and_grad(std::span<const double> w,
+                                     const Dataset& data,
+                                     std::span<const std::size_t> batch,
+                                     std::span<double> grad) const {
+  assert(w.size() == param_count_ && grad.size() == param_count_);
+  assert(!batch.empty());
+  const Views p = view(w);
+  zero(grad);
+
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t c_out = config_.num_classes;
+
+  // Gradient block views (mutable).
+  std::size_t off = config_.trainable_embedding
+                        ? config_.vocab_size * config_.embed_dim
+                        : 0;
+  std::span<double> g_embed =
+      config_.trainable_embedding ? grad.subspan(0, off) : std::span<double>{};
+  std::vector<std::size_t> layer_off(config_.num_layers);
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    layer_off[l] = off;
+    off += layer_param_count(l);
+  }
+  MatrixView g_wout(grad.subspan(off, c_out * h), c_out, h);
+  auto g_bout = grad.subspan(off + c_out * h, c_out);
+
+  std::vector<LayerTrace> traces;
+  Vector final_hidden(h), logits(c_out);
+  Vector dz(4 * h);
+  std::vector<Vector> dh(config_.num_layers, Vector(h));
+  std::vector<Vector> dc(config_.num_layers, Vector(h));
+  Vector dinput;  // gradient flowing to the layer below / embedding
+
+  double total_loss = 0.0;
+  for (std::size_t idx : batch) {
+    const auto& seq = data.tokens[idx];
+    if (seq.empty()) {
+      throw std::invalid_argument("LstmClassifier: empty token sequence");
+    }
+    const std::size_t t_len = seq.size();
+    forward(p, seq, &traces, final_hidden);
+
+    gemv(p.w_out, final_hidden, logits);
+    add(logits, p.b_out, logits);
+    total_loss += softmax_cross_entropy_grad(logits, data.labels[idx]);
+
+    // Output head gradients.
+    ger(1.0, logits, final_hidden, g_wout);
+    add(g_bout, logits, g_bout);
+
+    // Seed BPTT: dh of top layer at final step; everything else zero.
+    for (std::size_t l = 0; l < config_.num_layers; ++l) {
+      zero(dh[l]);
+      zero(dc[l]);
+    }
+    gemv_transposed(p.w_out, logits, dh.back());
+
+    // dinput_from_above[t]: gradient arriving at layer l's output at
+    // timestep t from layer l+1. Stored per timestep for the layer being
+    // processed next. Initialized empty for the top layer.
+    Matrix from_above;  // t_len x h, zero when processing top layer
+    for (std::size_t lq = config_.num_layers; lq > 0; --lq) {
+      const std::size_t l = lq - 1;
+      const LayerView& lay = p.layers[l];
+      const LayerTrace& tr = traces[l];
+      const std::size_t in_dim = layer_input_dim(l);
+
+      MatrixView g_wx(grad.subspan(layer_off[l], 4 * h * in_dim), 4 * h,
+                      in_dim);
+      MatrixView g_wh(grad.subspan(layer_off[l] + 4 * h * in_dim, 4 * h * h),
+                      4 * h, h);
+      auto g_b = grad.subspan(layer_off[l] + 4 * h * in_dim + 4 * h * h, 4 * h);
+
+      Matrix to_below(t_len, in_dim);  // grads w.r.t. this layer's inputs
+
+      Vector dh_run = dh[l];  // running dL/dh_t, includes head seed for top
+      Vector dc_run = dc[l];
+      for (std::size_t tq = t_len; tq > 0; --tq) {
+        const std::size_t t = tq - 1;
+        // Add the gradient arriving from the layer above at this step.
+        if (from_above.rows() == t_len) {
+          add(dh_run, from_above.row(t), dh_run);
+        }
+        const double* cprev_row = nullptr;
+        Vector zeros;  // c_{-1} = 0
+        if (t > 0) {
+          cprev_row = tr.cell.row(t - 1).data();
+        } else {
+          zeros.assign(h, 0.0);
+          cprev_row = zeros.data();
+        }
+        for (std::size_t j = 0; j < h; ++j) {
+          const double gi = tr.gate_i(t, j);
+          const double gf = tr.gate_f(t, j);
+          const double gg = tr.gate_g(t, j);
+          const double go = tr.gate_o(t, j);
+          const double ct = tr.cell(t, j);
+          const double tc = std::tanh(ct);
+          const double dht = dh_run[j];
+          const double dct = dc_run[j] + dht * go * (1.0 - tc * tc);
+          const double d_go = dht * tc;
+          const double d_gi = dct * gg;
+          const double d_gg = dct * gi;
+          const double d_gf = dct * cprev_row[j];
+          dz[kInput * h + j] = d_gi * gi * (1.0 - gi);
+          dz[kForget * h + j] = d_gf * gf * (1.0 - gf);
+          dz[kCandidate * h + j] = d_gg * (1.0 - gg * gg);
+          dz[kOutput * h + j] = d_go * go * (1.0 - go);
+          dc_run[j] = dct * gf;  // flows to c_{t-1}
+        }
+        // Parameter gradients.
+        ger(1.0, dz, tr.input.row(t), g_wx);
+        if (t > 0) {
+          ger(1.0, dz, tr.hidden.row(t - 1), g_wh);
+        }  // h_{-1} = 0: no Wh contribution at t = 0
+        add(g_b, dz, g_b);
+        // Input gradient (to embedding or the layer below).
+        auto to_below_row = to_below.row(t);
+        gemv_transposed(lay.wx, dz, to_below_row);
+        // dh_{t-1} through Wh.
+        gemv_transposed(lay.wh, dz, dh_run);
+      }
+      from_above = std::move(to_below);
+    }
+
+    // Embedding gradients (layer 0 inputs).
+    if (config_.trainable_embedding) {
+      for (std::size_t t = 0; t < t_len; ++t) {
+        auto row = g_embed.subspan(
+            static_cast<std::size_t>(seq[t]) * config_.embed_dim,
+            config_.embed_dim);
+        add(row, from_above.row(t), row);
+      }
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  scale(grad, inv);
+  return total_loss * inv;
+}
+
+double LstmClassifier::loss(std::span<const double> w, const Dataset& data,
+                            std::span<const std::size_t> batch) const {
+  assert(!batch.empty());
+  const Views p = view(w);
+  Vector final_hidden(config_.hidden_dim), logits(config_.num_classes);
+  double total = 0.0;
+  for (std::size_t idx : batch) {
+    forward(p, data.tokens[idx], nullptr, final_hidden);
+    gemv(p.w_out, final_hidden, logits);
+    add(logits, p.b_out, logits);
+    total += softmax_cross_entropy(logits, data.labels[idx]);
+  }
+  return total / static_cast<double>(batch.size());
+}
+
+void LstmClassifier::predict(std::span<const double> w, const Dataset& data,
+                             std::span<const std::size_t> batch,
+                             std::vector<std::int32_t>& out) const {
+  const Views p = view(w);
+  out.resize(batch.size());
+  Vector final_hidden(config_.hidden_dim), logits(config_.num_classes);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    forward(p, data.tokens[batch[i]], nullptr, final_hidden);
+    gemv(p.w_out, final_hidden, logits);
+    add(logits, p.b_out, logits);
+    out[i] = static_cast<std::int32_t>(argmax(logits));
+  }
+}
+
+}  // namespace fed

@@ -1,0 +1,104 @@
+// Multi-layer LSTM sequence classifier with exact backpropagation through
+// time. Covers both of the paper's non-convex tasks:
+//   - Sent140-like: frozen (GloVe stand-in) embeddings, 2-layer LSTM,
+//     binary sentiment head (num_classes = 2).
+//   - Shakespeare-like: trainable 8-d embeddings, 2-layer LSTM,
+//     next-character head (num_classes = vocab).
+// The classifier reads a token sequence, runs it through `num_layers`
+// LSTM layers, and softmax-classifies the final hidden state.
+//
+// Flat parameter layout:
+//   [E (vocab x embed, only if trainable_embedding)]
+//   for each layer l: [Wx_l (4H x in_l) | Wh_l (4H x H) | b_l (4H)]
+//   [W_out (C x H) | b_out (C)]
+// Gate order inside the 4H blocks: input, forget, candidate, output.
+
+#pragma once
+
+#include <memory>
+
+#include "nn/embedding.h"
+#include "nn/module.h"
+
+namespace fed {
+
+struct LstmConfig {
+  std::size_t vocab_size = 0;
+  std::size_t embed_dim = 0;
+  std::size_t hidden_dim = 0;
+  std::size_t num_layers = 1;
+  std::size_t num_classes = 0;
+  // When false, `frozen_embedding` supplies fixed token vectors and the
+  // embedding is excluded from the parameter vector.
+  bool trainable_embedding = true;
+  std::shared_ptr<const EmbeddingTable> frozen_embedding;
+  // Forget-gate bias initialization (standard trick for gradient flow).
+  double forget_bias = 1.0;
+};
+
+class LstmClassifier final : public Model {
+ public:
+  explicit LstmClassifier(LstmConfig config);
+
+  std::string name() const override { return "lstm_classifier"; }
+  std::size_t parameter_count() const override { return param_count_; }
+  const LstmConfig& config() const { return config_; }
+
+  void init_parameters(std::span<double> w, Rng& rng) const override;
+  double loss_and_grad(std::span<const double> w, const Dataset& data,
+                       std::span<const std::size_t> batch,
+                       std::span<double> grad) const override;
+  double loss(std::span<const double> w, const Dataset& data,
+              std::span<const std::size_t> batch) const override;
+  void predict(std::span<const double> w, const Dataset& data,
+               std::span<const std::size_t> batch,
+               std::vector<std::int32_t>& out) const override;
+
+ private:
+  struct LayerView {
+    ConstMatrixView wx;  // 4H x in
+    ConstMatrixView wh;  // 4H x H
+    std::span<const double> b;  // 4H
+  };
+  struct Views {
+    std::span<const double> embedding;  // vocab*embed or empty
+    std::vector<LayerView> layers;
+    ConstMatrixView w_out;
+    std::span<const double> b_out;
+  };
+  struct GradViews {
+    std::span<double> embedding;
+    std::vector<std::size_t> layer_offsets;  // offset of each layer block
+    std::span<double> all;
+    std::size_t out_offset;
+  };
+
+  // Per-timestep activations recorded by the forward pass (one layer).
+  struct LayerTrace {
+    // Each is T x H, row t = timestep t.
+    Matrix gate_i, gate_f, gate_g, gate_o, cell, hidden;
+    // T x in: the inputs this layer saw (embeddings or lower hidden).
+    Matrix input;
+    void resize(std::size_t t, std::size_t h, std::size_t in);
+  };
+
+  std::size_t layer_input_dim(std::size_t layer) const {
+    return layer == 0 ? config_.embed_dim : config_.hidden_dim;
+  }
+  std::size_t layer_param_count(std::size_t layer) const;
+  Views view(std::span<const double> w) const;
+
+  // Runs the forward pass for one token sequence; fills traces (if given)
+  // and writes the final top-layer hidden state into `final_hidden`.
+  void forward(const Views& p, std::span<const std::int32_t> seq,
+               std::vector<LayerTrace>* traces,
+               std::span<double> final_hidden) const;
+  // Embeds token `tok` into dst using either the trainable block of w or
+  // the frozen table.
+  void embed(const Views& p, std::int32_t tok, std::span<double> dst) const;
+
+  LstmConfig config_;
+  std::size_t param_count_ = 0;
+};
+
+}  // namespace fed

@@ -1,0 +1,29 @@
+// Adam on the proximal local objective — a third drop-in LocalSolver
+// demonstrating (and stress-testing) the framework's solver-agnosticism.
+// In deployed federated systems adaptive local optimizers are common; the
+// FedProx analysis only cares about the gamma-inexactness of the returned
+// solution, which optim/inexactness.h measures for any solver.
+
+#pragma once
+
+#include "optim/solver.h"
+
+namespace fed {
+
+class AdamSolver final : public LocalSolver {
+ public:
+  explicit AdamSolver(double beta1 = 0.9, double beta2 = 0.999,
+                      double epsilon = 1e-8);
+
+  std::string name() const override { return "adam"; }
+
+  void solve(const LocalProblem& problem, const SolveBudget& budget, Rng& rng,
+             std::span<double> w) const override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+};
+
+}  // namespace fed

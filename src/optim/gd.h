@@ -1,0 +1,22 @@
+// Full-batch gradient descent on the proximal local objective.
+// Demonstrates the framework's solver-agnosticism (the analysis only
+// requires a gamma-inexact solution, not SGD) and is used in tests where
+// deterministic local solves make closed-form checks possible.
+
+#pragma once
+
+#include "optim/solver.h"
+
+namespace fed {
+
+class GdSolver final : public LocalSolver {
+ public:
+  std::string name() const override { return "gd"; }
+
+  // budget.iterations full-batch steps of size budget.learning_rate.
+  // batch_size is ignored; `rng` is unused (deterministic solver).
+  void solve(const LocalProblem& problem, const SolveBudget& budget, Rng& rng,
+             std::span<double> w) const override;
+};
+
+}  // namespace fed

@@ -1,0 +1,15 @@
+#include "optim/inexactness.h"
+
+#include "optim/prox_sgd.h"
+
+namespace fed {
+
+double measure_gamma(const LocalProblem& problem,
+                     std::span<const double> w_star) {
+  const LocalObjective objective(problem);
+  const double at_anchor = objective.full_grad_norm(problem.anchor);
+  if (at_anchor < 1e-12) return 0.0;
+  return objective.full_grad_norm(w_star) / at_anchor;
+}
+
+}  // namespace fed

@@ -1,0 +1,18 @@
+// gamma-inexactness (Definitions 1 and 2): measures how accurately a
+// local solve minimized h_k(.; w^t). gamma = ||grad h_k(w*)|| /
+// ||grad h_k(w^t)||; smaller is more exact, gamma = 0 is an exact
+// stationary point, gamma >= 1 means no first-order progress.
+
+#pragma once
+
+#include "optim/solver.h"
+
+namespace fed {
+
+// Returns gamma for the solution `w_star` of `problem`. When the gradient
+// at the anchor is (numerically) zero the subproblem was already solved;
+// returns 0.
+double measure_gamma(const LocalProblem& problem,
+                     std::span<const double> w_star);
+
+}  // namespace fed

@@ -1,0 +1,41 @@
+// Evaluation of the proximal local objective
+//   h_k(w; w^t) = F_k(w) + <correction, w> + (mu/2) ||w - w^t||^2
+// shared by the concrete solvers and the gamma-inexactness probe.
+
+#pragma once
+
+#include "optim/solver.h"
+#include "tensor/tensor.h"
+
+namespace fed {
+
+class LocalObjective {
+ public:
+  explicit LocalObjective(const LocalProblem& problem);
+
+  std::size_t dimension() const { return problem_.model->parameter_count(); }
+  std::size_t num_samples() const { return problem_.data->size(); }
+
+  // Mean h_k over the given batch; writes gradient of h_k into grad.
+  double loss_and_grad(std::span<const double> w,
+                       std::span<const std::size_t> batch,
+                       std::span<double> grad) const;
+
+  // Full-batch versions.
+  double full_loss_and_grad(std::span<const double> w,
+                            std::span<double> grad) const;
+  double full_loss(std::span<const double> w) const;
+
+  // ||grad h_k(w)|| over the full batch.
+  double full_grad_norm(std::span<const double> w) const;
+
+ private:
+  // Adds the proximal and linear-correction terms to a plain F_k
+  // loss/grad pair.
+  double add_regularizers(std::span<const double> w, double f_loss,
+                          std::span<double> grad) const;
+
+  LocalProblem problem_;
+};
+
+}  // namespace fed

@@ -1,0 +1,21 @@
+// Mini-batch SGD on the proximal local objective — the paper's local
+// solver for both FedAvg (mu = 0) and FedProx experiments (Section 5.1).
+
+#pragma once
+
+#include "optim/solver.h"
+
+namespace fed {
+
+class SgdSolver final : public LocalSolver {
+ public:
+  std::string name() const override { return "sgd"; }
+
+  // Runs budget.iterations mini-batch steps with constant step size.
+  // Epoch boundaries reshuffle the sample order using `rng`; partial
+  // epochs (straggler budgets) simply stop mid-pass.
+  void solve(const LocalProblem& problem, const SolveBudget& budget, Rng& rng,
+             std::span<double> w) const override;
+};
+
+}  // namespace fed

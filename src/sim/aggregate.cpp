@@ -1,0 +1,45 @@
+#include "sim/aggregate.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace fed {
+
+bool aggregate(SamplingScheme scheme,
+               std::span<const Contribution> contributions,
+               std::span<double> w) {
+  if (contributions.empty()) return false;
+
+  std::vector<double> weights(contributions.size());
+  switch (scheme) {
+    case SamplingScheme::kUniformThenWeightedAverage: {
+      double total = 0.0;
+      for (const auto& c : contributions) total += c.num_samples;
+      if (total <= 0.0) {
+        throw std::invalid_argument("aggregate: non-positive sample total");
+      }
+      for (std::size_t i = 0; i < contributions.size(); ++i) {
+        weights[i] = contributions[i].num_samples / total;
+      }
+      break;
+    }
+    case SamplingScheme::kWeightedThenSimpleAverage: {
+      const double inv = 1.0 / static_cast<double>(contributions.size());
+      for (auto& value : weights) value = inv;
+      break;
+    }
+  }
+
+  zero(w);
+  for (std::size_t i = 0; i < contributions.size(); ++i) {
+    const Vector& update = *contributions[i].update;
+    if (update.size() != w.size()) {
+      throw std::invalid_argument("aggregate: update dimension mismatch");
+    }
+    axpy(weights[i], update, w);
+  }
+  return true;
+}
+
+}  // namespace fed

@@ -1,0 +1,30 @@
+// Server-side aggregation of local updates.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/sampling.h"
+#include "tensor/tensor.h"
+
+namespace fed {
+
+struct Contribution {
+  std::size_t device = 0;
+  const Vector* update = nullptr;  // the device's local solution w_k^{t+1}
+  double num_samples = 0.0;        // n_k, used by the weighted scheme
+};
+
+// Combines contributions into the next global model. Weighting follows
+// the sampling scheme (see sim/sampling.h):
+//   kUniformThenWeightedAverage  -> weights proportional to n_k
+//   kWeightedThenSimpleAverage   -> equal weights 1/|contributions|
+// Returns false (leaving w untouched) when no device contributed — the
+// paper's FedAvg keeps the previous model when every selected device
+// straggles and is dropped.
+bool aggregate(SamplingScheme scheme,
+               std::span<const Contribution> contributions,
+               std::span<double> w);
+
+}  // namespace fed

@@ -1,0 +1,40 @@
+#include "sim/client.h"
+
+#include "optim/inexactness.h"
+#include "tensor/ops.h"
+
+namespace fed {
+
+ClientResult run_client(const Model& model, const ClientData& data,
+                        std::span<const double> w_global,
+                        const LocalSolver& solver, const DeviceBudget& budget,
+                        const ClientRoundConfig& config,
+                        std::span<const double> correction,
+                        Rng& minibatch_rng) {
+  ClientResult result;
+  result.device = budget.device;
+  result.num_samples = data.train.size();
+  result.straggler = budget.straggler;
+  result.iterations = budget.iterations;
+
+  LocalProblem problem{.model = &model,
+                       .data = &data.train,
+                       .anchor = w_global,
+                       .mu = config.mu,
+                       .correction = correction};
+  SolveBudget solve_budget{.iterations = budget.iterations,
+                           .batch_size = config.batch_size,
+                           .learning_rate = config.learning_rate,
+                           .clip_norm = config.clip_norm};
+
+  result.update.assign(w_global.begin(), w_global.end());
+  solver.solve(problem, solve_budget, minibatch_rng, result.update);
+
+  if (config.measure_gamma && data.train.size() > 0) {
+    result.gamma = measure_gamma(problem, result.update);
+    result.gamma_measured = true;
+  }
+  return result;
+}
+
+}  // namespace fed

@@ -1,0 +1,36 @@
+#include "sim/sampling.h"
+
+#include <stdexcept>
+
+namespace fed {
+
+std::string to_string(SamplingScheme scheme) {
+  switch (scheme) {
+    case SamplingScheme::kUniformThenWeightedAverage:
+      return "uniform_sampling+weighted_average";
+    case SamplingScheme::kWeightedThenSimpleAverage:
+      return "weighted_sampling+simple_average";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> select_devices(SamplingScheme scheme,
+                                        std::span<const double> pk,
+                                        std::size_t devices_per_round,
+                                        std::uint64_t seed,
+                                        std::uint64_t round) {
+  const std::size_t n = pk.size();
+  if (devices_per_round == 0 || devices_per_round > n) {
+    throw std::invalid_argument("select_devices: bad devices_per_round");
+  }
+  Rng rng = make_stream(seed, StreamKind::kDeviceSampling, round);
+  switch (scheme) {
+    case SamplingScheme::kUniformThenWeightedAverage:
+      return rng.sample_without_replacement(n, devices_per_round);
+    case SamplingScheme::kWeightedThenSimpleAverage:
+      return rng.weighted_sample_without_replacement(pk, devices_per_round);
+  }
+  throw std::logic_error("select_devices: unknown scheme");
+}
+
+}  // namespace fed

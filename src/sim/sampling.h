@@ -1,0 +1,38 @@
+// Device sampling schemes (Section 5.1 / Appendix C.3.4, Figure 12).
+//
+// The analysis (Algorithms 1-2) samples device k with probability
+// p_k = n_k/n and aggregates with a simple average over the K updates.
+// The experiments instead sample uniformly and aggregate with weights
+// proportional to n_k (McMahan et al.'s original scheme). Both are
+// implemented; Figure 12 compares them.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace fed {
+
+enum class SamplingScheme {
+  // Experiments' scheme: uniform sampling + n_k-weighted aggregation.
+  kUniformThenWeightedAverage,
+  // Analysis' scheme: p_k-weighted sampling + simple average.
+  kWeightedThenSimpleAverage,
+};
+
+std::string to_string(SamplingScheme scheme);
+
+// Selects K distinct devices for round `round`, deterministically in
+// (seed, round) — identical across compared algorithms. `pk` are the
+// n_k/n masses (used only by the weighted scheme).
+std::vector<std::size_t> select_devices(SamplingScheme scheme,
+                                        std::span<const double> pk,
+                                        std::size_t devices_per_round,
+                                        std::uint64_t seed,
+                                        std::uint64_t round);
+
+}  // namespace fed

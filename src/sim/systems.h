@@ -1,0 +1,72 @@
+// Systems-heterogeneity model (paper Section 5.2).
+//
+// Each round has a fixed global clock cycle. A configured fraction of the
+// selected devices are "stragglers": they only complete x epochs of local
+// work, x drawn uniformly from {1, .., E} (for E = 1, a uniformly drawn
+// partial epoch measured in mini-batch iterations — the Figure 9 setting).
+// Non-stragglers complete the full E epochs. FedAvg drops stragglers at
+// aggregation; FedProx incorporates their partial solutions.
+//
+// Straggler identity and workloads depend only on (seed, round, device),
+// never on the algorithm, so compared methods face identical conditions —
+// the paper's paired-run protocol.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace fed {
+
+// Alternative systems model: persistent per-device capability profiles.
+// The paper's simulation redraws stragglers each round; real fleets have
+// *persistently* slow devices ("the storage, computational, and
+// communication capabilities of each device ... may differ due to
+// variability in hardware", Section 2). With this model, device k has a
+// fixed speed factor s_k = min(1, exp(N(0, speed_sigma_log))) relative to
+// a reference device that completes exactly E epochs per clock cycle;
+// device k completes floor(s_k * E * iters_per_epoch) iterations
+// (at least 1). straggler_fraction is ignored while enabled.
+struct DeviceProfileConfig {
+  bool enabled = false;
+  double speed_sigma_log = 1.0;
+};
+
+struct SystemsConfig {
+  double straggler_fraction = 0.0;  // 0.0, 0.5, 0.9 in the paper
+  std::size_t epochs = 20;          // E, the full workload per round
+  DeviceProfileConfig profile;      // persistent-capability alternative
+};
+
+// The persistent speed factor of `device` under the profile model;
+// deterministic in (seed, device), in (0, 1].
+double device_speed_factor(const DeviceProfileConfig& config,
+                           std::uint64_t seed, std::size_t device);
+
+struct DeviceBudget {
+  std::size_t device = 0;
+  bool straggler = false;
+  // Epochs completed (== config.epochs for non-stragglers; for E == 1
+  // stragglers this stays 1 and `iterations` carries the partial epoch).
+  std::size_t epochs = 0;
+  // Mini-batch iterations completed within the clock cycle.
+  std::size_t iterations = 0;
+};
+
+// Computes per-device budgets for one round. `train_sizes[i]` is the
+// number of training samples on selected device `selected[i]`.
+std::vector<DeviceBudget> assign_budgets(const SystemsConfig& config,
+                                         std::uint64_t seed,
+                                         std::uint64_t round,
+                                         std::span<const std::size_t> selected,
+                                         std::span<const std::size_t> train_sizes,
+                                         std::size_t batch_size);
+
+// Number of stragglers for a selection of size k (paper assigns the exact
+// fraction, rounded to nearest).
+std::size_t straggler_count(double fraction, std::size_t k);
+
+}  // namespace fed

@@ -1,0 +1,143 @@
+#include "support/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fed {
+
+std::uint64_t Rng::splitmix(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::mix(std::uint64_t a, std::uint64_t b) {
+  // One SplitMix64 round over the combination; good avalanche, cheap.
+  std::uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix(state);
+}
+
+void Rng::init(std::uint64_t key) {
+  std::uint64_t state = key;
+  for (auto& word : s_) word = splitmix(state);
+  // xoshiro must not be seeded with all zeros; splitmix of any key makes
+  // this astronomically unlikely, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_int(span));
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller. u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + uniform_int(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("categorical: zero total");
+  double u = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  // Floating-point slack: return last positive-weight index.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::weighted_sample_without_replacement(
+    std::span<const double> weights, std::size_t k) {
+  const std::size_t n = weights.size();
+  if (k > n) {
+    throw std::invalid_argument("weighted_sample_without_replacement: k > n");
+  }
+  std::vector<double> w(weights.begin(), weights.end());
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t draw = 0; draw < k; ++draw) {
+    std::size_t idx = categorical(w);
+    chosen.push_back(idx);
+    w[idx] = 0.0;  // remove from pool
+  }
+  return chosen;
+}
+
+Rng make_stream(std::uint64_t seed, StreamKind kind) {
+  return Rng(seed, {static_cast<std::uint64_t>(kind)});
+}
+Rng make_stream(std::uint64_t seed, StreamKind kind, std::uint64_t a) {
+  return Rng(seed, {static_cast<std::uint64_t>(kind), a});
+}
+Rng make_stream(std::uint64_t seed, StreamKind kind, std::uint64_t a,
+                std::uint64_t b) {
+  return Rng(seed, {static_cast<std::uint64_t>(kind), a, b});
+}
+
+}  // namespace fed

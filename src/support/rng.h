@@ -1,0 +1,122 @@
+// Deterministic, counter-keyed random number streams.
+//
+// The paper's experimental protocol fixes the selected devices, the
+// straggler assignment, and the mini-batch order across every compared
+// method (Section 5.1). To make that invariant hold regardless of which
+// algorithm runs, how many threads execute clients, or in which order,
+// every random draw in this library comes from a stream keyed by
+// (seed, salt...) where the salts identify the purpose of the draw:
+// e.g. (seed, kDeviceSampling, round) or (seed, kMinibatch, round, device).
+//
+// Streams are cheap value types: a SplitMix64-seeded xoshiro256++ engine.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fed {
+
+// Purpose tags for stream derivation. Each random decision in the system
+// uses a distinct tag so that adding draws to one subsystem never perturbs
+// another.
+enum class StreamKind : std::uint64_t {
+  kDataGeneration = 1,   // synthetic dataset creation
+  kPartition = 2,        // assigning samples to devices
+  kModelInit = 3,        // initial global parameters
+  kDeviceSampling = 4,   // which K devices participate in a round
+  kStraggler = 5,        // which selected devices straggle, and their epochs
+  kMinibatch = 6,        // per-device mini-batch shuffling
+  kSolver = 7,           // any extra solver randomness
+  kTest = 8,             // reserved for unit tests
+};
+
+// xoshiro256++ engine with SplitMix64 key expansion. Satisfies
+// std::uniform_random_bit_generator so it composes with <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Derives a stream from a base seed plus any number of salts.
+  explicit Rng(std::uint64_t seed) { init(seed); }
+  Rng(std::uint64_t seed, std::initializer_list<std::uint64_t> salts) {
+    std::uint64_t key = seed;
+    for (std::uint64_t s : salts) key = mix(key, s);
+    init(key);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Box-Muller (cached pair).
+  double normal();
+  // Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  // Bernoulli(p).
+  bool bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) uniformly (partial Fisher-Yates).
+  // Requires k <= n. Result is in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  // Samples one index from a discrete distribution proportional to weights.
+  // Requires at least one strictly positive weight.
+  std::size_t categorical(std::span<const double> weights);
+
+  // Samples k indices WITHOUT replacement where inclusion probability is
+  // proportional to weights (sequential weighted sampling). k <= n.
+  std::vector<std::size_t> weighted_sample_without_replacement(
+      std::span<const double> weights, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix(std::uint64_t& state);
+  static std::uint64_t mix(std::uint64_t a, std::uint64_t b);
+  void init(std::uint64_t key);
+
+  std::array<std::uint64_t, 4> s_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+// Convenience: derive the canonical stream for a purpose.
+Rng make_stream(std::uint64_t seed, StreamKind kind);
+Rng make_stream(std::uint64_t seed, StreamKind kind, std::uint64_t a);
+Rng make_stream(std::uint64_t seed, StreamKind kind, std::uint64_t a,
+                std::uint64_t b);
+
+}  // namespace fed

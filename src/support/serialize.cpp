@@ -1,0 +1,133 @@
+#include "support/serialize.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/csv.h"
+
+namespace fed {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'P', 'X', '1'};
+
+void ensure_parent(const std::string& path) {
+  auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) ensure_directory(parent.string());
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Vector& w) {
+  ensure_parent(path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t dim = w.size();
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(w.data()),
+            static_cast<std::streamsize>(w.size() * sizeof(double)));
+  if (!out) throw std::runtime_error("save_checkpoint: write failed: " + path);
+}
+
+Vector load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  }
+  std::uint64_t dim = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!in) throw std::runtime_error("load_checkpoint: truncated header");
+  Vector w(dim);
+  in.read(reinterpret_cast<char*>(w.data()),
+          static_cast<std::streamsize>(dim * sizeof(double)));
+  if (!in || in.gcount() != static_cast<std::streamsize>(dim * sizeof(double))) {
+    throw std::runtime_error("load_checkpoint: truncated payload");
+  }
+  in.peek();
+  if (!in.eof()) {
+    throw std::runtime_error("load_checkpoint: trailing bytes in " + path);
+  }
+  return w;
+}
+
+Vector load_checkpoint(const std::string& path, std::size_t expected_dim) {
+  Vector w = load_checkpoint(path);
+  if (w.size() != expected_dim) {
+    throw std::runtime_error("load_checkpoint: dimension mismatch (" +
+                             std::to_string(w.size()) + " vs expected " +
+                             std::to_string(expected_dim) + ")");
+  }
+  return w;
+}
+
+namespace {
+const std::vector<std::string> kHistoryHeader = {
+    "round",        "evaluated",        "train_loss",
+    "train_accuracy", "test_accuracy",  "grad_variance",
+    "dissimilarity_b", "dissimilarity_measured", "mu",
+    "mean_gamma",   "gamma_measured",   "contributors",
+    "stragglers"};
+}  // namespace
+
+void save_history(const std::string& path, const TrainHistory& history) {
+  CsvWriter csv(path, kHistoryHeader);
+  for (const auto& m : history.rounds) {
+    std::ostringstream loss, tracc, teacc, var, b, mu, gamma;
+    loss.precision(17); tracc.precision(17); teacc.precision(17);
+    var.precision(17); b.precision(17); mu.precision(17); gamma.precision(17);
+    loss << m.train_loss;
+    tracc << m.train_accuracy;
+    teacc << m.test_accuracy;
+    var << m.grad_variance;
+    b << m.dissimilarity_b;
+    mu << m.mu;
+    gamma << m.mean_gamma;
+    csv.write_row({std::to_string(m.round), m.evaluated ? "1" : "0",
+                   loss.str(), tracc.str(), teacc.str(), var.str(), b.str(),
+                   m.dissimilarity_measured ? "1" : "0", mu.str(), gamma.str(),
+                   m.gamma_measured ? "1" : "0", std::to_string(m.contributors),
+                   std::to_string(m.stragglers)});
+  }
+}
+
+TrainHistory load_history(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_history: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_history: empty file " + path);
+  }
+  TrainHistory history;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream row(line);
+    while (std::getline(row, cell, ',')) cells.push_back(cell);
+    if (cells.size() != kHistoryHeader.size()) {
+      throw std::runtime_error("load_history: malformed row in " + path);
+    }
+    RoundMetrics m;
+    m.round = std::stoull(cells[0]);
+    m.evaluated = cells[1] == "1";
+    m.train_loss = std::stod(cells[2]);
+    m.train_accuracy = std::stod(cells[3]);
+    m.test_accuracy = std::stod(cells[4]);
+    m.grad_variance = std::stod(cells[5]);
+    m.dissimilarity_b = std::stod(cells[6]);
+    m.dissimilarity_measured = cells[7] == "1";
+    m.mu = std::stod(cells[8]);
+    m.mean_gamma = std::stod(cells[9]);
+    m.gamma_measured = cells[10] == "1";
+    m.contributors = std::stoull(cells[11]);
+    m.stragglers = std::stoull(cells[12]);
+    history.rounds.push_back(m);
+  }
+  return history;
+}
+
+}  // namespace fed

@@ -1,0 +1,34 @@
+// Model checkpointing: binary save/load of flat parameter vectors, and
+// save/load of full training histories, so long experiments can be
+// resumed or post-processed outside the run.
+//
+// Checkpoint format (little-endian):
+//   magic "FPX1" | u64 dimension | dimension * f64 parameters
+// History format: the experiment CSV schema (support for reading back the
+// same files bench drivers write).
+
+#pragma once
+
+#include <string>
+
+#include "core/trainer.h"
+#include "tensor/tensor.h"
+
+namespace fed {
+
+// Writes `w` to `path` (parent directories created). Throws on I/O error.
+void save_checkpoint(const std::string& path, const Vector& w);
+
+// Reads a checkpoint; throws std::runtime_error on missing file, bad
+// magic, truncation, or trailing bytes.
+Vector load_checkpoint(const std::string& path);
+
+// Like load_checkpoint, but also validates the dimension.
+Vector load_checkpoint(const std::string& path, std::size_t expected_dim);
+
+// Serializes every round of `history` (evaluated or not) to a CSV at
+// `path` and reads it back. Round-trip is exact for the recorded fields.
+void save_history(const std::string& path, const TrainHistory& history);
+TrainHistory load_history(const std::string& path);
+
+}  // namespace fed

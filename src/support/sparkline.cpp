@@ -1,0 +1,35 @@
+#include "support/sparkline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fed {
+
+std::string sparkline(std::span<const double> values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+
+  double lo = INFINITY, hi = -INFINITY;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      out += "!";
+      continue;
+    }
+    int level = 3;  // mid-height for constant series
+    if (hi > lo) {
+      level = static_cast<int>(std::floor((v - lo) / (hi - lo) * 8.0));
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+}  // namespace fed

@@ -1,0 +1,17 @@
+// Terminal sparklines: render a numeric series as a compact unicode
+// block-character strip ("▂▃▅▇"). Used by the examples to show loss
+// trajectories inline.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace fed {
+
+// Maps values linearly onto eight block heights; an empty span renders
+// an empty string; a constant series renders mid-height blocks.
+// Non-finite values render as '!'.
+std::string sparkline(std::span<const double> values);
+
+}  // namespace fed

@@ -1,0 +1,22 @@
+// Wall-clock stopwatch for run logging.
+
+#pragma once
+
+#include <chrono>
+
+namespace fed {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fed

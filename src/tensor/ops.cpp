@@ -1,0 +1,181 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fed {
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void copy(std::span<const double> src, std::span<double> dst) {
+  assert(src.size() == dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double distance2(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+void subtract(std::span<const double> a, std::span<const double> b,
+              std::span<double> dst) {
+  assert(a.size() == b.size() && a.size() == dst.size());
+  for (std::size_t i = 0; i < a.size(); ++i) dst[i] = a[i] - b[i];
+}
+
+void add(std::span<const double> a, std::span<const double> b,
+         std::span<double> dst) {
+  assert(a.size() == b.size() && a.size() == dst.size());
+  for (std::size_t i = 0; i < a.size(); ++i) dst[i] = a[i] + b[i];
+}
+
+void hadamard(std::span<const double> a, std::span<const double> b,
+              std::span<double> dst) {
+  assert(a.size() == b.size() && a.size() == dst.size());
+  for (std::size_t i = 0; i < a.size(); ++i) dst[i] = a[i] * b[i];
+}
+
+void zero(std::span<double> x) { std::fill(x.begin(), x.end(), 0.0); }
+
+void gemv(const ConstMatrixView& a, std::span<const double> x,
+          std::span<double> y) {
+  zero(y);
+  gemv_accumulate(a, x, y);
+}
+
+void gemv_accumulate(const ConstMatrixView& a, std::span<const double> x,
+                     std::span<double> y) {
+  assert(x.size() == a.cols() && y.size() == a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    y[r] += dot(a.row(r), x);
+  }
+}
+
+void gemv_transposed(const ConstMatrixView& a, std::span<const double> x,
+                     std::span<double> y) {
+  zero(y);
+  gemv_transposed_accumulate(a, x, y);
+}
+
+void gemv_transposed_accumulate(const ConstMatrixView& a,
+                                std::span<const double> x,
+                                std::span<double> y) {
+  assert(x.size() == a.rows() && y.size() == a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    axpy(x[r], a.row(r), y);
+  }
+}
+
+void gemm(const ConstMatrixView& a, const ConstMatrixView& b, MatrixView c) {
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+  zero(c.flat());
+  // ikj order: streams over B and C rows; cache-friendly for row-major.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto c_row = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      axpy(aik, b.row(k), c_row);
+    }
+  }
+}
+
+void ger(double alpha, std::span<const double> x, std::span<const double> y,
+         MatrixView a) {
+  assert(x.size() == a.rows() && y.size() == a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    axpy(alpha * x[r], y, a.row(r));
+  }
+}
+
+double sigmoid(double x) {
+  // Split by sign to avoid overflow in exp.
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double tanh_activation(double x) { return std::tanh(x); }
+
+void softmax_inplace(std::span<double> logits) {
+  assert(!logits.empty());
+  const double m = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - m);
+    total += v;
+  }
+  for (double& v : logits) v /= total;
+}
+
+double log_sum_exp(std::span<const double> logits) {
+  assert(!logits.empty());
+  const double m = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double v : logits) total += std::exp(v - m);
+  return m + std::log(total);
+}
+
+std::size_t argmax(std::span<const double> x) {
+  assert(!x.empty());
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+bool all_finite(std::span<const double> x) {
+  for (double v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+void weighted_sum(std::span<const Vector* const> rows,
+                  std::span<const double> weights, std::span<double> dst) {
+  if (rows.size() != weights.size()) {
+    throw std::invalid_argument("weighted_sum: rows/weights size mismatch");
+  }
+  zero(dst);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i]->size() == dst.size());
+    axpy(weights[i], *rows[i], dst);
+  }
+}
+
+}  // namespace fed

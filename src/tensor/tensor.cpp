@@ -1,0 +1,14 @@
+#include "tensor/tensor.h"
+
+#include <stdexcept>
+
+namespace fed {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, Vector data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols) {
+    throw std::invalid_argument("Matrix: buffer size does not match shape");
+  }
+}
+
+}  // namespace fed

@@ -1,0 +1,77 @@
+#include "sim/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace fed {
+namespace {
+
+TEST(Aggregate, WeightedAverageUsesSampleCounts) {
+  Vector a{1.0, 0.0}, b{0.0, 1.0};
+  std::vector<Contribution> contributions{{0, &a, 30.0}, {1, &b, 10.0}};
+  Vector w(2, 99.0);
+  ASSERT_TRUE(aggregate(SamplingScheme::kUniformThenWeightedAverage,
+                        contributions, w));
+  EXPECT_NEAR(w[0], 0.75, 1e-12);
+  EXPECT_NEAR(w[1], 0.25, 1e-12);
+}
+
+TEST(Aggregate, SimpleAverageIgnoresSampleCounts) {
+  Vector a{1.0, 0.0}, b{0.0, 1.0};
+  std::vector<Contribution> contributions{{0, &a, 1000.0}, {1, &b, 1.0}};
+  Vector w(2);
+  ASSERT_TRUE(aggregate(SamplingScheme::kWeightedThenSimpleAverage,
+                        contributions, w));
+  EXPECT_NEAR(w[0], 0.5, 1e-12);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+}
+
+TEST(Aggregate, EmptyContributionsLeaveModelUntouched) {
+  Vector w{3.0, 4.0};
+  std::vector<Contribution> none;
+  EXPECT_FALSE(aggregate(SamplingScheme::kUniformThenWeightedAverage, none, w));
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[1], 4.0);
+}
+
+TEST(Aggregate, IdenticalUpdatesAreFixedPoint) {
+  Vector u{2.0, -1.0, 0.5};
+  std::vector<Contribution> contributions{{0, &u, 5.0}, {1, &u, 50.0},
+                                          {2, &u, 500.0}};
+  for (auto scheme : {SamplingScheme::kUniformThenWeightedAverage,
+                      SamplingScheme::kWeightedThenSimpleAverage}) {
+    Vector w(3);
+    ASSERT_TRUE(aggregate(scheme, contributions, w));
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(w[i], u[i], 1e-12);
+  }
+}
+
+TEST(Aggregate, DimensionMismatchThrows) {
+  Vector a{1.0, 2.0}, b{1.0};
+  std::vector<Contribution> contributions{{0, &a, 1.0}, {1, &b, 1.0}};
+  Vector w(2);
+  EXPECT_THROW(
+      aggregate(SamplingScheme::kWeightedThenSimpleAverage, contributions, w),
+      std::invalid_argument);
+}
+
+TEST(Aggregate, ZeroSampleTotalThrowsForWeightedScheme) {
+  Vector a{1.0};
+  std::vector<Contribution> contributions{{0, &a, 0.0}};
+  Vector w(1);
+  EXPECT_THROW(aggregate(SamplingScheme::kUniformThenWeightedAverage,
+                         contributions, w),
+               std::invalid_argument);
+}
+
+TEST(Aggregate, SingleContributorCopiesUpdate) {
+  Vector a{7.0, -3.0};
+  std::vector<Contribution> contributions{{4, &a, 17.0}};
+  Vector w(2);
+  ASSERT_TRUE(
+      aggregate(SamplingScheme::kUniformThenWeightedAverage, contributions, w));
+  EXPECT_DOUBLE_EQ(w[0], 7.0);
+  EXPECT_DOUBLE_EQ(w[1], -3.0);
+}
+
+}  // namespace
+}  // namespace fed

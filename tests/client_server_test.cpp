@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "optim/sgd.h"
+#include "sim/client.h"
+#include "sim/server.h"
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+using testing::QuadraticModel;
+using testing::make_dense_dataset;
+
+ClientData quad_client() {
+  ClientData c;
+  c.train = make_dense_dataset({{2.0, 2.0}, {4.0, 6.0}});
+  c.test = make_dense_dataset({{3.0, 4.0}});
+  return c;
+}
+
+TEST(RunClient, UpdatesMoveTowardLocalMinimizer) {
+  QuadraticModel model(2);
+  const ClientData data = quad_client();
+  Vector w_global{0.0, 0.0};
+  SgdSolver solver;
+  DeviceBudget budget{.device = 3, .straggler = false, .epochs = 10,
+                      .iterations = 40};
+  ClientRoundConfig config{.mu = 0.0, .batch_size = 2, .learning_rate = 0.2,
+                           .measure_gamma = false};
+  Rng rng = make_stream(1, StreamKind::kMinibatch, 0, 3);
+  const ClientResult result =
+      run_client(model, data, w_global, solver, budget, config, {}, rng);
+  EXPECT_EQ(result.device, 3u);
+  EXPECT_EQ(result.num_samples, 2u);
+  // Local minimizer is the feature mean (3, 4).
+  EXPECT_NEAR(result.update[0], 3.0, 1e-3);
+  EXPECT_NEAR(result.update[1], 4.0, 1e-3);
+}
+
+TEST(RunClient, ZeroBudgetReturnsAnchor) {
+  QuadraticModel model(2);
+  const ClientData data = quad_client();
+  Vector w_global{5.0, -5.0};
+  SgdSolver solver;
+  DeviceBudget budget{.device = 0, .straggler = true, .epochs = 0,
+                      .iterations = 0};
+  ClientRoundConfig config;
+  Rng rng = make_stream(2, StreamKind::kMinibatch, 0, 0);
+  const ClientResult result =
+      run_client(model, data, w_global, solver, budget, config, {}, rng);
+  EXPECT_EQ(result.update, (Vector{5.0, -5.0}));
+  EXPECT_TRUE(result.straggler);
+}
+
+TEST(RunClient, GammaMeasuredWhenRequested) {
+  QuadraticModel model(2);
+  const ClientData data = quad_client();
+  Vector w_global{0.0, 0.0};
+  SgdSolver solver;
+  DeviceBudget budget{.device = 0, .straggler = false, .epochs = 5,
+                      .iterations = 30};
+  ClientRoundConfig config{.mu = 1.0, .batch_size = 2, .learning_rate = 0.2,
+                           .measure_gamma = true};
+  Rng rng = make_stream(3, StreamKind::kMinibatch, 0, 0);
+  const ClientResult result =
+      run_client(model, data, w_global, solver, budget, config, {}, rng);
+  EXPECT_TRUE(result.gamma_measured);
+  EXPECT_GE(result.gamma, 0.0);
+  EXPECT_LT(result.gamma, 1.0);  // real progress was made
+}
+
+TEST(EvaluateGlobal, WeightsLossBySampleCount) {
+  QuadraticModel model(1);
+  FederatedDataset fed;
+  fed.clients.resize(2);
+  // Client 0: 1 sample at 0 -> F_0(w) = 0.5 w^2.
+  fed.clients[0].train = make_dense_dataset({{0.0}});
+  // Client 1: 3 samples at 2 -> F_1(w) = 0.5 (w-2)^2.
+  fed.clients[1].train = make_dense_dataset({{2.0}, {2.0}, {2.0}});
+  Vector w{1.0};
+  const GlobalEval eval = evaluate_global(model, fed, w, nullptr);
+  // f(1) = (1/4)(0.5) + (3/4)(0.5) = 0.5.
+  EXPECT_NEAR(eval.train_loss, 0.5, 1e-12);
+}
+
+TEST(EvaluateGlobal, PoolsTestAccuracyOverDevices) {
+  QuadraticModel model(1);  // its predict() always matches labels
+  FederatedDataset fed;
+  fed.clients.resize(2);
+  fed.clients[0].train = make_dense_dataset({{0.0}});
+  fed.clients[0].test = make_dense_dataset({{0.0}, {0.0}});
+  fed.clients[1].train = make_dense_dataset({{1.0}});
+  fed.clients[1].test = make_dense_dataset({{1.0}});
+  Vector w{0.0};
+  const GlobalEval eval = evaluate_global(model, fed, w, nullptr);
+  EXPECT_DOUBLE_EQ(eval.test_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(eval.train_accuracy, 1.0);
+}
+
+TEST(EvaluateGlobal, ParallelMatchesSerial) {
+  QuadraticModel model(2);
+  FederatedDataset fed;
+  Rng gen = make_stream(9, StreamKind::kTest);
+  fed.clients.resize(8);
+  for (auto& c : fed.clients) {
+    c.train = testing::make_random_dataset(20, 2, 2, gen);
+    c.test = testing::make_random_dataset(5, 2, 2, gen);
+  }
+  Vector w{0.3, -0.7};
+  ThreadPool pool(4);
+  const GlobalEval serial = evaluate_global(model, fed, w, nullptr);
+  const GlobalEval parallel = evaluate_global(model, fed, w, &pool);
+  EXPECT_NEAR(serial.train_loss, parallel.train_loss, 1e-12);
+  EXPECT_DOUBLE_EQ(serial.test_accuracy, parallel.test_accuracy);
+}
+
+}  // namespace
+}  // namespace fed

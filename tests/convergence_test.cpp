@@ -1,0 +1,142 @@
+#include "core/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/logistic.h"
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+ConvergenceInputs benign() {
+  // Near-IID, near-exact, high participation: the regime where Theorem 4
+  // certifies decrease (the bound is conservative — see the dashboard
+  // example for measured real-problem constants, where rho < 0).
+  ConvergenceInputs in;
+  in.mu = 20.0;
+  in.gamma = 0.02;
+  in.b = 1.2;
+  in.k = 100.0;
+  in.l = 1.0;
+  in.l_minus = 0.0;
+  return in;
+}
+
+TEST(Theorem4Rho, PositiveForBenignConstants) {
+  EXPECT_GT(theorem4_rho(benign()), 0.0);
+}
+
+TEST(Theorem4Rho, MatchesHandComputedValue) {
+  // mu=2, gamma=0, B=1, K=4, L=1, L_minus=0 (mu_bar = 2):
+  // rho = 1/2 - 0 - sqrt(2)/(2*2) - 1/(2*2) - 1/(2*4)
+  //       - (2*sqrt(8)+2)/(4*4)
+  const ConvergenceInputs in{.mu = 2.0, .gamma = 0.0, .b = 1.0, .k = 4.0,
+                             .l = 1.0, .l_minus = 0.0};
+  const double expected = 0.5 - std::sqrt(2.0) / 4.0 - 0.25 - 0.125 -
+                          (2.0 * std::sqrt(8.0) + 2.0) / 16.0;
+  EXPECT_NEAR(theorem4_rho(in), expected, 1e-12);
+}
+
+TEST(Theorem4Rho, DecreasesWithDissimilarity) {
+  ConvergenceInputs in = benign();
+  const double rho_low_b = theorem4_rho(in);
+  in.b = 3.0;
+  EXPECT_LT(theorem4_rho(in), rho_low_b);
+}
+
+TEST(Theorem4Rho, DecreasesWithInexactness) {
+  ConvergenceInputs in = benign();
+  const double rho_exact = theorem4_rho(in);
+  in.gamma = 0.5;
+  EXPECT_LT(theorem4_rho(in), rho_exact);
+}
+
+TEST(Theorem4Rho, MoreDevicesHelp) {
+  ConvergenceInputs in = benign();
+  in.k = 4.0;
+  const double rho_small_k = theorem4_rho(in);
+  in.k = 100.0;
+  EXPECT_GT(theorem4_rho(in), rho_small_k);
+}
+
+TEST(Theorem4Rho, RequiresMuAboveLMinus) {
+  ConvergenceInputs in = benign();
+  in.l_minus = 20.0;  // mu_bar would be negative
+  EXPECT_THROW(theorem4_rho(in), std::invalid_argument);
+}
+
+TEST(Remark5, ConditionBoundaries) {
+  EXPECT_TRUE(remark5_conditions(0.1, 2.0, 9.0));   // 0.2 < 1, 2/3 < 1
+  EXPECT_FALSE(remark5_conditions(0.6, 2.0, 9.0));  // gamma B = 1.2
+  EXPECT_FALSE(remark5_conditions(0.1, 4.0, 9.0));  // B/sqrt(K) = 4/3
+}
+
+TEST(Corollary7, MuScalesWithLAndBSquared) {
+  EXPECT_DOUBLE_EQ(corollary7_mu(2.0, 3.0), 6.0 * 2.0 * 9.0);
+}
+
+TEST(Corollary10, BoundMatchesFormula) {
+  EXPECT_DOUBLE_EQ(corollary10_b(3.0, 1.0), 2.0);
+  EXPECT_THROW(corollary10_b(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(SmallestCertifiedMu, FindsThresholdConsistentWithRho) {
+  ConvergenceInputs in = benign();
+  const double mu_star = smallest_certified_mu(in);
+  ASSERT_GT(mu_star, 0.0);
+  in.mu = mu_star;
+  EXPECT_GT(theorem4_rho(in), 0.0);
+  in.mu = mu_star * 0.5;
+  if (in.mu > in.l_minus) {
+    EXPECT_LE(theorem4_rho(in), 0.0);
+  }
+}
+
+TEST(SmallestCertifiedMu, ReturnsNegativeWhenImpossible) {
+  ConvergenceInputs in = benign();
+  in.gamma = 2.0;  // gamma B > 1: no mu can certify
+  in.b = 4.0;
+  in.k = 4.0;      // B/sqrt(K) = 2 > 1
+  EXPECT_LT(smallest_certified_mu(in, 1e4), 0.0);
+}
+
+TEST(EstimateSmoothness, QuadraticHasUnitCurvature) {
+  // F(w) = 0.5 ||w - x||^2 has Hessian = I: L = 1, L_minus = 0.
+  testing::QuadraticModel model(4);
+  Dataset data = testing::make_dense_dataset({{1.0, 2.0, 3.0, 4.0}});
+  Vector w(4, 0.0);
+  Rng rng = make_stream(3, StreamKind::kTest);
+  const auto est = estimate_smoothness(model, data, w, 8, 1e-4, rng);
+  EXPECT_NEAR(est.l, 1.0, 1e-6);
+  EXPECT_NEAR(est.l_minus, 0.0, 1e-6);
+}
+
+TEST(EstimateSmoothness, LogisticSmoothnessBounded) {
+  // Softmax cross-entropy with bounded features has bounded curvature and
+  // is convex: L finite, L_minus ~ 0.
+  LogisticRegression model(5, 3);
+  Rng gen = make_stream(4, StreamKind::kTest);
+  Dataset data = testing::make_random_dataset(30, 5, 3, gen);
+  Vector w(model.parameter_count(), 0.1);
+  const auto est = estimate_smoothness(model, data, w, 10, 1e-4, gen);
+  EXPECT_GT(est.l, 0.0);
+  EXPECT_LT(est.l, 100.0);
+  EXPECT_NEAR(est.l_minus, 0.0, 1e-4);  // convex objective
+}
+
+TEST(EstimateFederatedSmoothness, PoolsMaxOverDevices) {
+  testing::QuadraticModel model(2);
+  FederatedDataset fed;
+  fed.clients.resize(3);
+  Rng gen = make_stream(5, StreamKind::kTest);
+  for (auto& c : fed.clients) {
+    c.train = testing::make_random_dataset(4, 2, 2, gen);
+  }
+  Vector w(2, 0.0);
+  const auto est =
+      estimate_federated_smoothness(model, fed, w, 4, 1e-4, /*seed=*/5);
+  EXPECT_NEAR(est.l, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace fed

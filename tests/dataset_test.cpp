@@ -1,0 +1,132 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+TEST(Dataset, AppendFromDense) {
+  Dataset src = testing::make_dense_dataset({{1.0, 2.0}, {3.0, 4.0}});
+  src.labels = {0, 1};
+  Dataset dst;
+  dst.features = Matrix(0, 2);
+  dst.append_from(src, 1);
+  ASSERT_EQ(dst.size(), 1u);
+  EXPECT_DOUBLE_EQ(dst.features(0, 0), 3.0);
+  EXPECT_EQ(dst.labels[0], 1);
+}
+
+TEST(Dataset, AppendFromSequence) {
+  Dataset src;
+  src.tokens = {{1, 2, 3}, {4, 5, 6}};
+  src.labels = {7, 8};
+  Dataset dst;
+  dst.append_from(src, 0);
+  ASSERT_EQ(dst.size(), 1u);
+  EXPECT_EQ(dst.tokens[0], (std::vector<std::int32_t>{1, 2, 3}));
+  EXPECT_TRUE(dst.is_sequence());
+}
+
+TEST(Dataset, AppendFromOutOfRangeThrows) {
+  Dataset src = testing::make_dense_dataset({{1.0}});
+  Dataset dst;
+  dst.features = Matrix(0, 1);
+  EXPECT_THROW(dst.append_from(src, 5), std::out_of_range);
+}
+
+TEST(Dataset, ValidateCatchesLabelOutOfRange) {
+  Dataset d = testing::make_dense_dataset({{1.0}});
+  d.labels = {5};
+  EXPECT_THROW(d.validate(3), std::runtime_error);
+  EXPECT_NO_THROW(d.validate(6));
+}
+
+TEST(Dataset, ValidateCatchesSizeMismatch) {
+  Dataset d = testing::make_dense_dataset({{1.0}, {2.0}});
+  d.labels = {0};  // only one label for two rows
+  EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(Dataset, ValidateCatchesNonFinite) {
+  Dataset d = testing::make_dense_dataset({{std::nan("")}});
+  d.labels = {0};
+  EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(TrainTestSplit, PartitionsAllSamples) {
+  Rng gen = make_stream(1, StreamKind::kTest);
+  Dataset all = testing::make_random_dataset(50, 3, 4, gen);
+  Rng rng = make_stream(2, StreamKind::kTest);
+  ClientData split = train_test_split(all, 0.8, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), 50u);
+  EXPECT_EQ(split.train.size(), 40u);
+  split.train.validate(4);
+  split.test.validate(4);
+}
+
+TEST(TrainTestSplit, BothSidesNonEmptyForTinyData) {
+  Rng gen = make_stream(3, StreamKind::kTest);
+  Dataset all = testing::make_random_dataset(2, 2, 2, gen);
+  Rng rng = make_stream(4, StreamKind::kTest);
+  ClientData split = train_test_split(all, 0.99, rng);
+  EXPECT_EQ(split.train.size(), 1u);
+  EXPECT_EQ(split.test.size(), 1u);
+}
+
+TEST(TrainTestSplit, SingleSampleGoesToTrain) {
+  Rng gen = make_stream(5, StreamKind::kTest);
+  Dataset all = testing::make_random_dataset(1, 2, 2, gen);
+  Rng rng = make_stream(6, StreamKind::kTest);
+  ClientData split = train_test_split(all, 0.8, rng);
+  EXPECT_EQ(split.train.size(), 1u);
+  EXPECT_EQ(split.test.size(), 0u);
+}
+
+TEST(TrainTestSplit, RejectsBadFraction) {
+  Rng gen = make_stream(7, StreamKind::kTest);
+  Dataset all = testing::make_random_dataset(4, 2, 2, gen);
+  Rng rng = make_stream(8, StreamKind::kTest);
+  EXPECT_THROW(train_test_split(all, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(train_test_split(all, 1.0, rng), std::invalid_argument);
+}
+
+TEST(TrainTestSplit, SequenceDataSupported) {
+  Rng gen = make_stream(9, StreamKind::kTest);
+  Dataset all = testing::make_random_sequences(20, 5, 10, 3, gen);
+  Rng rng = make_stream(10, StreamKind::kTest);
+  ClientData split = train_test_split(all, 0.75, rng);
+  EXPECT_EQ(split.train.size(), 15u);
+  EXPECT_EQ(split.test.size(), 5u);
+  EXPECT_TRUE(split.train.is_sequence());
+}
+
+TEST(FederatedDatasetTest, ClientWeightsSumToOne) {
+  FederatedDataset fed;
+  fed.clients.resize(3);
+  Rng gen = make_stream(11, StreamKind::kTest);
+  fed.clients[0].train = testing::make_random_dataset(10, 2, 2, gen);
+  fed.clients[1].train = testing::make_random_dataset(30, 2, 2, gen);
+  fed.clients[2].train = testing::make_random_dataset(60, 2, 2, gen);
+  const auto pk = fed.client_weights();
+  EXPECT_NEAR(pk[0] + pk[1] + pk[2], 1.0, 1e-12);
+  EXPECT_NEAR(pk[2], 0.6, 1e-12);
+  EXPECT_EQ(fed.total_train_samples(), 100u);
+}
+
+TEST(PowerLaw, CountsRespectFloorAndAreHeavyTailed) {
+  Rng rng = make_stream(12, StreamKind::kTest);
+  const auto counts = power_law_sample_counts(500, 10, 3.0, 1.5, rng);
+  std::size_t max_count = 0, min_count = SIZE_MAX;
+  for (auto c : counts) {
+    EXPECT_GE(c, 10u);
+    max_count = std::max(max_count, c);
+    min_count = std::min(min_count, c);
+  }
+  // Heavy tail: the largest device should dwarf the smallest.
+  EXPECT_GT(max_count, 20 * min_count);
+}
+
+}  // namespace
+}  // namespace fed

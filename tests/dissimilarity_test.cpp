@@ -1,0 +1,86 @@
+#include "core/dissimilarity.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+using testing::QuadraticModel;
+using testing::make_dense_dataset;
+
+TEST(Dissimilarity, IdenticalClientsGiveBOneAndZeroVariance) {
+  QuadraticModel model(2);
+  FederatedDataset fed;
+  fed.clients.resize(4);
+  for (auto& c : fed.clients) {
+    c.train = make_dense_dataset({{1.0, 2.0}, {3.0, 4.0}});
+  }
+  Vector w{0.0, 0.0};
+  const auto m = measure_dissimilarity(model, fed, w, nullptr);
+  EXPECT_NEAR(m.b, 1.0, 1e-9);
+  EXPECT_NEAR(m.variance, 0.0, 1e-12);
+  EXPECT_GT(m.grad_norm_f, 0.0);
+}
+
+TEST(Dissimilarity, HeterogeneousClientsGiveBAboveOne) {
+  QuadraticModel model(1);
+  FederatedDataset fed;
+  fed.clients.resize(2);
+  fed.clients[0].train = make_dense_dataset({{-3.0}});
+  fed.clients[1].train = make_dense_dataset({{3.0}});
+  Vector w{1.0};  // grad F_0 = 4, grad F_1 = -2, grad f = 1
+  const auto m = measure_dissimilarity(model, fed, w, nullptr);
+  EXPECT_GT(m.b, 1.0);
+  EXPECT_GT(m.variance, 0.0);
+}
+
+TEST(Dissimilarity, Corollary10IdentityHolds) {
+  // Var = E||grad F_k||^2 - ||grad f||^2 = (B^2 - 1) ||grad f||^2.
+  QuadraticModel model(3);
+  FederatedDataset fed;
+  Rng gen = make_stream(17, StreamKind::kTest);
+  fed.clients.resize(5);
+  for (auto& c : fed.clients) {
+    c.train = testing::make_random_dataset(
+        4 + static_cast<std::size_t>(gen.uniform_int(std::uint64_t{6})), 3, 2,
+        gen);
+  }
+  Vector w{0.5, -0.2, 0.8};
+  const auto m = measure_dissimilarity(model, fed, w, nullptr);
+  const double f_sq = m.grad_norm_f * m.grad_norm_f;
+  EXPECT_NEAR(m.variance, m.expected_sq_norm - f_sq, 1e-9);
+  EXPECT_NEAR(m.variance, (m.b * m.b - 1.0) * f_sq, 1e-9);
+}
+
+TEST(Dissimilarity, StationaryAgreementDefinesBOne) {
+  QuadraticModel model(1);
+  FederatedDataset fed;
+  fed.clients.resize(2);
+  fed.clients[0].train = make_dense_dataset({{2.0}});
+  fed.clients[1].train = make_dense_dataset({{2.0}});
+  Vector w{2.0};  // every local gradient is zero
+  const auto m = measure_dissimilarity(model, fed, w, nullptr);
+  EXPECT_DOUBLE_EQ(m.b, 1.0);
+  EXPECT_NEAR(m.grad_norm_f, 0.0, 1e-12);
+}
+
+TEST(Dissimilarity, ParallelMatchesSerial) {
+  QuadraticModel model(2);
+  FederatedDataset fed;
+  Rng gen = make_stream(18, StreamKind::kTest);
+  fed.clients.resize(6);
+  for (auto& c : fed.clients) {
+    c.train = testing::make_random_dataset(8, 2, 2, gen);
+  }
+  Vector w{0.1, 0.9};
+  ThreadPool pool(3);
+  const auto serial = measure_dissimilarity(model, fed, w, nullptr);
+  const auto parallel = measure_dissimilarity(model, fed, w, &pool);
+  EXPECT_NEAR(serial.b, parallel.b, 1e-12);
+  EXPECT_NEAR(serial.variance, parallel.variance, 1e-12);
+}
+
+}  // namespace
+}  // namespace fed

@@ -1,0 +1,96 @@
+#include "core/feddane.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+using testing::QuadraticModel;
+using testing::make_dense_dataset;
+
+TEST(FedDane, CorrectionsAreWeightedZeroSum) {
+  // sum_k n_k (grad~f - grad F_k) = 0 by construction.
+  QuadraticModel model(2);
+  FederatedDataset fed;
+  Rng gen = make_stream(31, StreamKind::kTest);
+  fed.clients.resize(4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    fed.clients[k].train = testing::make_random_dataset(3 + k, 2, 2, gen);
+  }
+  std::vector<std::size_t> selected{0, 1, 2, 3};
+  Vector w{0.4, -0.6};
+  const auto corrections =
+      feddane_corrections(model, fed, selected, w, nullptr);
+  ASSERT_EQ(corrections.size(), 4u);
+  Vector weighted_sum(2, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    axpy(static_cast<double>(fed.clients[i].train.size()), corrections[i],
+         weighted_sum);
+  }
+  EXPECT_NEAR(weighted_sum[0], 0.0, 1e-10);
+  EXPECT_NEAR(weighted_sum[1], 0.0, 1e-10);
+}
+
+TEST(FedDane, IdenticalClientsGiveZeroCorrections) {
+  QuadraticModel model(2);
+  FederatedDataset fed;
+  fed.clients.resize(3);
+  for (auto& c : fed.clients) {
+    c.train = make_dense_dataset({{1.0, 1.0}, {2.0, 0.0}});
+  }
+  std::vector<std::size_t> selected{0, 1, 2};
+  Vector w{0.0, 0.0};
+  const auto corrections =
+      feddane_corrections(model, fed, selected, w, nullptr);
+  for (const auto& c : corrections) {
+    EXPECT_NEAR(norm2(c), 0.0, 1e-12);
+  }
+}
+
+TEST(FedDane, CorrectionMatchesManualComputation) {
+  QuadraticModel model(1);
+  FederatedDataset fed;
+  fed.clients.resize(2);
+  fed.clients[0].train = make_dense_dataset({{0.0}});       // grad = w
+  fed.clients[1].train = make_dense_dataset({{4.0}, {4.0}});  // grad = w-4
+  std::vector<std::size_t> selected{0, 1};
+  Vector w{1.0};
+  // grads: 1 and -3; weighted mean = (1*1 + 2*(-3))/3 = -5/3.
+  const auto corrections =
+      feddane_corrections(model, fed, selected, w, nullptr);
+  EXPECT_NEAR(corrections[0][0], -5.0 / 3.0 - 1.0, 1e-12);
+  EXPECT_NEAR(corrections[1][0], -5.0 / 3.0 + 3.0, 1e-12);
+}
+
+TEST(FedDane, SubsetSelectionUsesOnlySampledDevices) {
+  QuadraticModel model(1);
+  FederatedDataset fed;
+  fed.clients.resize(3);
+  fed.clients[0].train = make_dense_dataset({{0.0}});
+  fed.clients[1].train = make_dense_dataset({{10.0}});
+  fed.clients[2].train = make_dense_dataset({{-10.0}});
+  std::vector<std::size_t> selected{0, 1};  // client 2 not sampled
+  Vector w{0.0};
+  const auto corrections =
+      feddane_corrections(model, fed, selected, w, nullptr);
+  // grads over selected: 0 and -10, mean -5.
+  EXPECT_NEAR(corrections[0][0], -5.0, 1e-12);
+  EXPECT_NEAR(corrections[1][0], 5.0, 1e-12);
+}
+
+TEST(FedDane, EmptySelectionThrows) {
+  QuadraticModel model(1);
+  FederatedDataset fed;
+  fed.clients.resize(1);
+  fed.clients[0].train = make_dense_dataset({{0.0}});
+  Vector w{0.0};
+  std::vector<std::size_t> none;
+  EXPECT_THROW(feddane_corrections(model, fed, none, w, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fed

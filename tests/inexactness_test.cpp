@@ -1,0 +1,60 @@
+#include "optim/inexactness.h"
+
+#include <gtest/gtest.h>
+
+#include "optim/gd.h"
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+using testing::QuadraticModel;
+using testing::make_dense_dataset;
+
+struct GammaSetup {
+  QuadraticModel model{2};
+  Dataset data = make_dense_dataset({{4.0, 2.0}, {6.0, 4.0}});
+  Vector anchor{0.0, 0.0};
+  LocalProblem problem{&model, &data, anchor, /*mu=*/1.0, {}};
+};
+
+TEST(Gamma, NoProgressMeansGammaOne) {
+  GammaSetup s;
+  EXPECT_NEAR(measure_gamma(s.problem, s.anchor), 1.0, 1e-12);
+}
+
+TEST(Gamma, ExactSolutionMeansGammaZero) {
+  GammaSetup s;
+  // Prox minimizer of 0.5||w - mean||^2 + 0.5||w||^2 with mean (5,3).
+  Vector w_star{2.5, 1.5};
+  EXPECT_NEAR(measure_gamma(s.problem, w_star), 0.0, 1e-12);
+}
+
+TEST(Gamma, MonotonicallyImprovesWithLocalWork) {
+  GammaSetup s;
+  GdSolver solver;
+  Rng rng = make_stream(1, StreamKind::kTest);
+  double previous = 1.0;
+  for (std::size_t iters : {1u, 3u, 10u, 40u}) {
+    SolveBudget budget{.iterations = iters, .batch_size = 2,
+                       .learning_rate = 0.2};
+    Vector w = s.anchor;
+    solver.solve(s.problem, budget, rng, w);
+    const double gamma = measure_gamma(s.problem, w);
+    EXPECT_LT(gamma, previous);
+    EXPECT_GE(gamma, 0.0);
+    previous = gamma;
+  }
+  EXPECT_LT(previous, 0.01);
+}
+
+TEST(Gamma, StationaryAnchorReturnsZero) {
+  QuadraticModel model(2);
+  Dataset data = make_dense_dataset({{1.0, 1.0}});
+  Vector anchor{1.0, 1.0};  // gradient of h at the anchor is zero
+  LocalProblem problem{&model, &data, anchor, 0.0, {}};
+  EXPECT_DOUBLE_EQ(measure_gamma(problem, anchor), 0.0);
+}
+
+}  // namespace
+}  // namespace fed

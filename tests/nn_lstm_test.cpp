@@ -1,0 +1,159 @@
+#include "nn/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+LstmConfig tiny_config(std::size_t layers, bool trainable) {
+  LstmConfig c;
+  c.vocab_size = 7;
+  c.embed_dim = 3;
+  c.hidden_dim = 4;
+  c.num_layers = layers;
+  c.num_classes = 3;
+  c.trainable_embedding = trainable;
+  if (!trainable) {
+    c.frozen_embedding = std::make_shared<EmbeddingTable>(7, 3, /*seed=*/9);
+  }
+  return c;
+}
+
+TEST(LstmModel, ParameterCountTrainableEmbedding) {
+  LstmClassifier model(tiny_config(2, true));
+  const std::size_t h = 4, e = 3, v = 7, c = 3;
+  const std::size_t layer0 = 4 * h * e + 4 * h * h + 4 * h;
+  const std::size_t layer1 = 4 * h * h + 4 * h * h + 4 * h;
+  EXPECT_EQ(model.parameter_count(), v * e + layer0 + layer1 + c * h + c);
+}
+
+TEST(LstmModel, ParameterCountFrozenEmbedding) {
+  LstmClassifier trainable(tiny_config(1, true));
+  LstmClassifier frozen(tiny_config(1, false));
+  EXPECT_EQ(trainable.parameter_count() - frozen.parameter_count(), 7u * 3u);
+}
+
+class LstmGradCheck
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool,
+                                                 std::size_t>> {};
+
+TEST_P(LstmGradCheck, AnalyticMatchesNumeric) {
+  const auto [layers, trainable, seq_len] = GetParam();
+  LstmClassifier model(tiny_config(layers, trainable));
+  Rng gen = make_stream(21, StreamKind::kTest, layers, seq_len);
+  Dataset data = testing::make_random_sequences(3, seq_len, 7, 3, gen);
+  Vector w(model.parameter_count());
+  model.init_parameters(w, gen);
+  const auto batch = full_batch(3);
+  // Probe a subset of coordinates: full probing of every weight is slow
+  // and redundant — the probe set includes the largest-gradient entries.
+  const auto result = check_gradients(model, w, data, batch, 1e-5, 160);
+  EXPECT_TRUE(result.passed(1e-5))
+      << "max rel err " << result.max_relative_error << " at index "
+      << result.worst_index << " (analytic " << result.analytic_at_worst
+      << " numeric " << result.numeric_at_worst << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, LstmGradCheck,
+    ::testing::Values(std::make_tuple(1, true, 1),
+                      std::make_tuple(1, true, 5),
+                      std::make_tuple(2, true, 4),
+                      std::make_tuple(1, false, 5),
+                      std::make_tuple(2, false, 6)));
+
+TEST(LstmModel, ForgetBiasInitialized) {
+  LstmConfig config = tiny_config(1, false);
+  config.forget_bias = 1.0;
+  LstmClassifier model(config);
+  Vector w(model.parameter_count());
+  Rng rng = make_stream(22, StreamKind::kTest);
+  model.init_parameters(w, rng);
+  // Layer 0 biases start after Wx (4h x e) and Wh (4h x h).
+  const std::size_t h = 4;
+  const std::size_t bias_off = 4 * h * 3 + 4 * h * h;
+  // Forget-gate block is the second quarter of the bias vector.
+  for (std::size_t j = 0; j < h; ++j) {
+    EXPECT_DOUBLE_EQ(w[bias_off + h + j], 1.0);   // forget
+    EXPECT_DOUBLE_EQ(w[bias_off + j], 0.0);       // input
+  }
+}
+
+TEST(LstmModel, LearnsLastTokenRule) {
+  // Task: the label equals the last token's class bucket — learnable by
+  // an LSTM reading the sequence.
+  LstmConfig config;
+  config.vocab_size = 6;
+  config.embed_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.num_classes = 3;
+  config.trainable_embedding = true;
+  LstmClassifier model(config);
+
+  Rng gen = make_stream(23, StreamKind::kTest);
+  Dataset data;
+  for (std::size_t i = 0; i < 90; ++i) {
+    std::vector<std::int32_t> seq(4);
+    for (auto& t : seq) t = static_cast<std::int32_t>(gen.uniform_int(6));
+    data.labels.push_back(seq.back() / 2);  // buckets {0,1},{2,3},{4,5}
+    data.tokens.push_back(std::move(seq));
+  }
+  Vector w(model.parameter_count()), grad(w.size());
+  model.init_parameters(w, gen);
+  const double initial = model.dataset_loss(w, data);
+  for (int step = 0; step < 150; ++step) {
+    model.dataset_loss_and_grad(w, data, grad);
+    axpy(-0.5, grad, w);
+  }
+  EXPECT_LT(model.dataset_loss(w, data), initial);
+  EXPECT_GT(model.accuracy(w, data), 0.9);
+}
+
+TEST(LstmModel, RejectsEmptySequence) {
+  LstmClassifier model(tiny_config(1, true));
+  Dataset data;
+  data.tokens = {{}};
+  data.labels = {0};
+  Vector w(model.parameter_count(), 0.0), grad(w.size());
+  const std::vector<std::size_t> batch{0};
+  EXPECT_THROW(model.loss_and_grad(w, data, batch, grad),
+               std::invalid_argument);
+}
+
+TEST(LstmModel, RejectsOutOfRangeToken) {
+  LstmClassifier model(tiny_config(1, true));
+  Dataset data;
+  data.tokens = {{99}};
+  data.labels = {0};
+  Vector w(model.parameter_count(), 0.0);
+  const std::vector<std::size_t> batch{0};
+  EXPECT_THROW(model.loss(w, data, batch), std::out_of_range);
+}
+
+TEST(LstmModel, RejectsBadConfig) {
+  LstmConfig config = tiny_config(1, false);
+  config.frozen_embedding.reset();
+  EXPECT_THROW(LstmClassifier{config}, std::invalid_argument);
+  LstmConfig mismatch = tiny_config(1, false);
+  mismatch.frozen_embedding = std::make_shared<EmbeddingTable>(7, 5, 1);
+  EXPECT_THROW(LstmClassifier{mismatch}, std::invalid_argument);
+}
+
+TEST(EmbeddingTableTest, DeterministicAndBounded) {
+  EmbeddingTable a(10, 4, 5), b(10, 4, 5), c(10, 4, 6);
+  for (std::int32_t t = 0; t < 10; ++t) {
+    auto ra = a.lookup(t), rb = b.lookup(t);
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(ra[j], rb[j]);
+  }
+  EXPECT_NE(a.lookup(0)[0], c.lookup(0)[0]);
+  EXPECT_THROW(a.lookup(-1), std::out_of_range);
+  EXPECT_THROW(a.lookup(10), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fed

@@ -1,0 +1,81 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+TEST(MlpModel, ParameterCount) {
+  Mlp model(4, 8, 3);
+  EXPECT_EQ(model.parameter_count(), 8u * 4 + 8 + 3u * 8 + 3);
+}
+
+class MlpGradCheck
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(MlpGradCheck, AnalyticMatchesNumeric) {
+  const auto [dim, hidden, classes, batch_n] = GetParam();
+  Mlp model(dim, hidden, classes);
+  Rng gen = make_stream(11, StreamKind::kTest, dim * 31 + hidden);
+  Dataset data = testing::make_random_dataset(batch_n, dim, classes, gen);
+  Vector w(model.parameter_count());
+  model.init_parameters(w, gen);
+  const auto batch = full_batch(batch_n);
+  const auto result = check_gradients(model, w, data, batch);
+  EXPECT_TRUE(result.passed(1e-5))
+      << "max rel err " << result.max_relative_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MlpGradCheck,
+    ::testing::Values(std::make_tuple(3, 4, 2, 1), std::make_tuple(5, 7, 3, 6),
+                      std::make_tuple(2, 2, 2, 3),
+                      std::make_tuple(8, 5, 4, 10)));
+
+TEST(MlpModel, InitBiasesAreZeroWeightsAreNot) {
+  Mlp model(4, 6, 3);
+  Vector w(model.parameter_count());
+  Rng rng = make_stream(12, StreamKind::kTest);
+  model.init_parameters(w, rng);
+  double weight_energy = 0.0;
+  for (std::size_t i = 0; i < 24; ++i) weight_energy += std::abs(w[i]);
+  EXPECT_GT(weight_energy, 0.0);
+  for (std::size_t i = 24; i < 30; ++i) EXPECT_DOUBLE_EQ(w[i], 0.0);  // b1
+}
+
+TEST(MlpModel, TrainsOnSeparableData) {
+  // Two well-separated Gaussian blobs — a non-convex model should fit them.
+  Mlp model(2, 8, 2);
+  Rng gen = make_stream(13, StreamKind::kTest);
+  Dataset data;
+  data.features = Matrix(60, 2);
+  data.labels.resize(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::int32_t y = i % 2;
+    data.labels[i] = y;
+    const double cx = y == 0 ? -2.0 : 2.0;
+    data.features(i, 0) = cx + 0.3 * gen.normal();
+    data.features(i, 1) = 0.3 * gen.normal();
+  }
+  Vector w(model.parameter_count()), grad(w.size());
+  model.init_parameters(w, gen);
+  for (int step = 0; step < 200; ++step) {
+    model.dataset_loss_and_grad(w, data, grad);
+    axpy(-0.5, grad, w);
+  }
+  EXPECT_GT(model.accuracy(w, data), 0.95);
+}
+
+TEST(MlpModel, RejectsBadShapes) {
+  EXPECT_THROW(Mlp(0, 4, 2), std::invalid_argument);
+  EXPECT_THROW(Mlp(4, 0, 2), std::invalid_argument);
+  EXPECT_THROW(Mlp(4, 4, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fed

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "optim/gd.h"
+#include "optim/prox_sgd.h"
+#include "optim/sgd.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+using testing::QuadraticModel;
+using testing::make_dense_dataset;
+
+// For the quadratic model, F(w) = 0.5||w - x̄||^2 + const and the prox
+// subproblem minimizer is w* = (x̄ + mu * anchor) / (1 + mu).
+Vector prox_minimizer(const Vector& mean, const Vector& anchor, double mu) {
+  Vector w(mean.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = (mean[i] + mu * anchor[i]) / (1.0 + mu);
+  }
+  return w;
+}
+
+struct QuadSetup {
+  QuadraticModel model{3};
+  Dataset data = make_dense_dataset({{1.0, 2.0, 3.0}, {3.0, 4.0, 7.0}});
+  Vector mean{2.0, 3.0, 5.0};
+  Vector anchor{0.0, 0.0, 0.0};
+};
+
+TEST(IterationsForEpochs, CeilingDivision) {
+  EXPECT_EQ(iterations_for_epochs(1, 10, 10), 1u);
+  EXPECT_EQ(iterations_for_epochs(1, 11, 10), 2u);
+  EXPECT_EQ(iterations_for_epochs(20, 35, 10), 80u);
+  EXPECT_THROW(iterations_for_epochs(1, 10, 0), std::invalid_argument);
+}
+
+TEST(LocalObjectiveTest, ProxTermAddsQuadraticPenalty) {
+  QuadSetup q;
+  LocalProblem problem{&q.model, &q.data, q.anchor, /*mu=*/2.0, {}};
+  LocalObjective objective(problem);
+  Vector w{1.0, 1.0, 1.0}, grad(3);
+  const double loss = objective.full_loss_and_grad(w, grad);
+  // F grad = w - mean; prox grad = mu (w - anchor).
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(grad[i], (w[i] - q.mean[i]) + 2.0 * w[i], 1e-12);
+  }
+  EXPECT_NEAR(loss, objective.full_loss(w), 1e-12);
+}
+
+TEST(LocalObjectiveTest, LinearCorrectionTermApplied) {
+  QuadSetup q;
+  Vector correction{1.0, -1.0, 0.5};
+  LocalProblem problem{&q.model, &q.data, q.anchor, 0.0, correction};
+  LocalObjective objective(problem);
+  Vector w{0.0, 0.0, 0.0}, grad(3);
+  objective.full_loss_and_grad(w, grad);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(grad[i], (w[i] - q.mean[i]) + correction[i], 1e-12);
+  }
+}
+
+TEST(LocalObjectiveTest, ValidatesDimensions) {
+  QuadSetup q;
+  Vector short_anchor{1.0};
+  LocalProblem bad{&q.model, &q.data, short_anchor, 0.0, {}};
+  EXPECT_THROW(LocalObjective{bad}, std::invalid_argument);
+}
+
+TEST(GdSolverTest, ConvergesToProxMinimizer) {
+  QuadSetup q;
+  const double mu = 1.5;
+  LocalProblem problem{&q.model, &q.data, q.anchor, mu, {}};
+  GdSolver solver;
+  SolveBudget budget{.iterations = 200, .batch_size = 2, .learning_rate = 0.3};
+  Rng rng = make_stream(1, StreamKind::kTest);
+  Vector w = q.anchor;
+  solver.solve(problem, budget, rng, w);
+  const Vector expected = prox_minimizer(q.mean, q.anchor, mu);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(w[i], expected[i], 1e-6);
+}
+
+TEST(GdSolverTest, MuZeroConvergesToLocalMinimizer) {
+  QuadSetup q;
+  LocalProblem problem{&q.model, &q.data, q.anchor, 0.0, {}};
+  GdSolver solver;
+  SolveBudget budget{.iterations = 300, .batch_size = 2, .learning_rate = 0.3};
+  Rng rng = make_stream(2, StreamKind::kTest);
+  Vector w = q.anchor;
+  solver.solve(problem, budget, rng, w);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(w[i], q.mean[i], 1e-6);
+}
+
+TEST(SgdSolverTest, FullBatchSgdMatchesGd) {
+  QuadSetup q;
+  LocalProblem problem{&q.model, &q.data, q.anchor, 1.0, {}};
+  SolveBudget budget{.iterations = 50, .batch_size = 2,  // = dataset size
+                     .learning_rate = 0.2};
+  Rng rng1 = make_stream(3, StreamKind::kTest);
+  Rng rng2 = make_stream(4, StreamKind::kTest);
+  Vector w_sgd = q.anchor, w_gd = q.anchor;
+  SgdSolver().solve(problem, budget, rng1, w_sgd);
+  GdSolver().solve(problem, budget, rng2, w_gd);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(w_sgd[i], w_gd[i], 1e-10);
+}
+
+TEST(SgdSolverTest, ZeroIterationsIsNoOp) {
+  QuadSetup q;
+  LocalProblem problem{&q.model, &q.data, q.anchor, 0.0, {}};
+  SolveBudget budget{.iterations = 0, .batch_size = 1, .learning_rate = 0.1};
+  Rng rng = make_stream(5, StreamKind::kTest);
+  Vector w{9.0, 9.0, 9.0};
+  SgdSolver().solve(problem, budget, rng, w);
+  EXPECT_DOUBLE_EQ(w[0], 9.0);
+}
+
+TEST(SgdSolverTest, DeterministicGivenSameStream) {
+  QuadSetup q;
+  LocalProblem problem{&q.model, &q.data, q.anchor, 0.5, {}};
+  SolveBudget budget{.iterations = 13, .batch_size = 1, .learning_rate = 0.1};
+  Vector w1 = q.anchor, w2 = q.anchor;
+  Rng rng1 = make_stream(6, StreamKind::kTest, 7);
+  Rng rng2 = make_stream(6, StreamKind::kTest, 7);
+  SgdSolver().solve(problem, budget, rng1, w1);
+  SgdSolver().solve(problem, budget, rng2, w2);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(SgdSolverTest, ProgressIncreasesWithBudget) {
+  QuadSetup q;
+  LocalProblem problem{&q.model, &q.data, q.anchor, 0.0, {}};
+  LocalObjective objective(problem);
+  auto run = [&](std::size_t iters) {
+    SolveBudget budget{.iterations = iters, .batch_size = 1,
+                       .learning_rate = 0.05};
+    Rng rng = make_stream(7, StreamKind::kTest, iters);
+    Vector w = q.anchor;
+    SgdSolver().solve(problem, budget, rng, w);
+    return objective.full_loss(w);
+  };
+  const double l2 = run(2), l20 = run(20), l200 = run(200);
+  EXPECT_GT(l2, l20);
+  EXPECT_GT(l20, l200);
+}
+
+TEST(SgdSolverTest, EmptyDatasetIsNoOp) {
+  QuadraticModel model(2);
+  Dataset empty;
+  empty.features = Matrix(0, 2);
+  Vector anchor{1.0, 1.0};
+  LocalProblem problem{&model, &empty, anchor, 0.0, {}};
+  SolveBudget budget{.iterations = 5, .batch_size = 1, .learning_rate = 0.1};
+  Rng rng = make_stream(8, StreamKind::kTest);
+  Vector w = anchor;
+  SgdSolver().solve(problem, budget, rng, w);
+  EXPECT_EQ(w, anchor);
+}
+
+}  // namespace
+}  // namespace fed

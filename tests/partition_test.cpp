@@ -1,0 +1,73 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace fed {
+namespace {
+
+class ShardParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(ShardParamTest, EveryDeviceGetsDistinctClasses) {
+  const auto [devices, classes, per_device] = GetParam();
+  Rng rng = make_stream(1, StreamKind::kTest, devices);
+  const auto shards = assign_class_shards(devices, classes, per_device, rng);
+  ASSERT_EQ(shards.size(), devices);
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.size(), per_device);
+    std::set<std::int32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), per_device);
+    for (auto c : s) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(static_cast<std::size_t>(c), classes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShardParamTest,
+    ::testing::Values(std::make_tuple(1000, 10, 2),   // mnist-like
+                      std::make_tuple(200, 10, 5),    // femnist-like
+                      std::make_tuple(5, 10, 10),     // all classes
+                      std::make_tuple(7, 3, 1)));
+
+TEST(AssignClassShards, BalancedClassUsage) {
+  Rng rng = make_stream(2, StreamKind::kTest);
+  const auto shards = assign_class_shards(1000, 10, 2, rng);
+  std::vector<int> usage(10, 0);
+  for (const auto& s : shards) {
+    for (auto c : s) usage[static_cast<std::size_t>(c)]++;
+  }
+  // 2000 assignments over 10 classes: each should get ~200.
+  for (int u : usage) EXPECT_NEAR(u, 200, 60);
+}
+
+TEST(AssignClassShards, TooManyClassesPerDeviceThrows) {
+  Rng rng = make_stream(3, StreamKind::kTest);
+  EXPECT_THROW(assign_class_shards(5, 3, 4, rng), std::invalid_argument);
+}
+
+TEST(SplitCount, SumsToTotalWithMinimumOne) {
+  Rng rng = make_stream(4, StreamKind::kTest);
+  const auto parts = split_count(100, 5, rng);
+  EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), std::size_t{0}), 100u);
+  for (auto p : parts) EXPECT_GE(p, 1u);
+}
+
+TEST(SplitCount, HandlesTotalSmallerThanParts) {
+  Rng rng = make_stream(5, StreamKind::kTest);
+  const auto parts = split_count(2, 5, rng);
+  EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), std::size_t{0}), 2u);
+}
+
+TEST(SplitCount, ZeroPartsThrows) {
+  Rng rng = make_stream(6, StreamKind::kTest);
+  EXPECT_THROW(split_count(10, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fed

@@ -1,0 +1,181 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "tensor/tensor.h"
+
+namespace fed {
+namespace {
+
+TEST(Rng, SameKeySameStream) {
+  Rng a = make_stream(7, StreamKind::kTest, 3, 4);
+  Rng b = make_stream(7, StreamKind::kTest, 3, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSaltsDiverge) {
+  Rng a = make_stream(7, StreamKind::kTest, 3, 4);
+  Rng b = make_stream(7, StreamKind::kTest, 3, 5);
+  Rng c = make_stream(7, StreamKind::kMinibatch, 3, 4);
+  int equal_ab = 0, equal_ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a();
+    if (va == b()) ++equal_ab;
+    if (va == c()) ++equal_ac;
+  }
+  EXPECT_LT(equal_ab, 2);
+  EXPECT_LT(equal_ac, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) counts[rng.uniform_int(std::uint64_t{5})]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 5, draws / 5 * 0.15);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(std::int64_t{1}, std::int64_t{3});
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(21);
+  const int n = 100000;
+  double mean = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    mean += x;
+    sq += x * x;
+  }
+  mean /= n;
+  sq /= n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(sq, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(22);
+  const int n = 50000;
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) mean += rng.normal(5.0, 0.5);
+  mean /= n;
+  EXPECT_NEAR(mean, 5.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(51);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto s = rng.sample_without_replacement(10, 4);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 4u);
+    for (auto i : s) EXPECT_LT(i, 10u);
+  }
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementUniformCoverage) {
+  Rng rng(52);
+  std::vector<int> counts(6, 0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto i : rng.sample_without_replacement(6, 2)) counts[i]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials * 2 / 6, trials * 2 / 6 * 0.1);
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(61);
+  Vector w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(62);
+  Vector neg{1.0, -1.0};
+  EXPECT_THROW(rng.categorical(neg), std::invalid_argument);
+  Vector zeros{0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zeros), std::invalid_argument);
+}
+
+TEST(Rng, WeightedSampleWithoutReplacementDistinct) {
+  Rng rng(71);
+  Vector w{5.0, 1.0, 1.0, 1.0};
+  for (int t = 0; t < 50; ++t) {
+    auto s = rng.weighted_sample_without_replacement(w, 3);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(Rng, WeightedSampleFavorsHeavyItems) {
+  Rng rng(72);
+  Vector w{10.0, 1.0, 1.0, 1.0, 1.0};
+  int first_count = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    auto s = rng.weighted_sample_without_replacement(w, 1);
+    if (s[0] == 0) ++first_count;
+  }
+  // P(item 0) = 10/14 ~ 0.714.
+  EXPECT_NEAR(static_cast<double>(first_count) / trials, 10.0 / 14.0, 0.02);
+}
+
+}  // namespace
+}  // namespace fed

@@ -1,0 +1,84 @@
+#include "sim/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tensor/tensor.h"
+
+namespace fed {
+namespace {
+
+Vector uniform_pk(std::size_t n) { return Vector(n, 1.0 / n); }
+
+class SchemeTest : public ::testing::TestWithParam<SamplingScheme> {};
+
+TEST_P(SchemeTest, SelectsDistinctDevicesInRange) {
+  const auto pk = uniform_pk(30);
+  for (std::uint64_t round = 0; round < 25; ++round) {
+    const auto s = select_devices(GetParam(), pk, 10, /*seed=*/1, round);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (auto d : s) EXPECT_LT(d, 30u);
+  }
+}
+
+TEST_P(SchemeTest, DeterministicInSeedAndRound) {
+  const auto pk = uniform_pk(20);
+  const auto a = select_devices(GetParam(), pk, 5, 3, 7);
+  const auto b = select_devices(GetParam(), pk, 5, 3, 7);
+  EXPECT_EQ(a, b);
+  const auto c = select_devices(GetParam(), pk, 5, 3, 8);
+  EXPECT_NE(a, c);  // overwhelmingly likely for 20-choose-5
+}
+
+TEST_P(SchemeTest, ValidatesDevicesPerRound) {
+  const auto pk = uniform_pk(5);
+  EXPECT_THROW(select_devices(GetParam(), pk, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(select_devices(GetParam(), pk, 6, 1, 0), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SchemeTest,
+    ::testing::Values(SamplingScheme::kUniformThenWeightedAverage,
+                      SamplingScheme::kWeightedThenSimpleAverage));
+
+TEST(Sampling, WeightedSchemePrefersHeavyDevices) {
+  Vector pk{0.55, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05};
+  int device0 = 0;
+  const int rounds = 3000;
+  for (int r = 0; r < rounds; ++r) {
+    const auto s = select_devices(SamplingScheme::kWeightedThenSimpleAverage,
+                                  pk, 2, 5, static_cast<std::uint64_t>(r));
+    for (auto d : s) {
+      if (d == 0) ++device0;
+    }
+  }
+  // Device 0 should be picked in nearly every round (first-draw prob 0.55,
+  // plus second-draw chances).
+  EXPECT_GT(static_cast<double>(device0) / rounds, 0.6);
+}
+
+TEST(Sampling, UniformSchemeIgnoresWeights) {
+  Vector pk{0.91, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01};
+  std::vector<int> counts(10, 0);
+  const int rounds = 5000;
+  for (int r = 0; r < rounds; ++r) {
+    for (auto d : select_devices(SamplingScheme::kUniformThenWeightedAverage,
+                                 pk, 3, 5, static_cast<std::uint64_t>(r))) {
+      counts[d]++;
+    }
+  }
+  // Every device selected ~ rounds * 3/10.
+  for (int c : counts) EXPECT_NEAR(c, rounds * 3 / 10, rounds * 3 / 10 * 0.15);
+}
+
+TEST(Sampling, ToStringNames) {
+  EXPECT_EQ(to_string(SamplingScheme::kUniformThenWeightedAverage),
+            "uniform_sampling+weighted_average");
+  EXPECT_EQ(to_string(SamplingScheme::kWeightedThenSimpleAverage),
+            "weighted_sampling+simple_average");
+}
+
+}  // namespace
+}  // namespace fed

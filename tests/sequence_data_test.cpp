@@ -1,0 +1,169 @@
+#include "data/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace fed {
+namespace {
+
+NextCharConfig small_next_char() {
+  NextCharConfig c;
+  c.num_devices = 6;
+  c.vocab_size = 12;
+  c.seq_len = 8;
+  c.min_stream = 80;
+  c.mean_log = 3.0;
+  c.sigma_log = 0.5;
+  c.seed = 5;
+  return c;
+}
+
+SentimentConfig small_sentiment() {
+  SentimentConfig c;
+  c.num_devices = 8;
+  c.vocab_size = 40;
+  c.num_sentiment_tokens = 8;
+  c.seq_len = 6;
+  c.min_samples = 30;
+  c.mean_log = 2.5;
+  c.sigma_log = 0.3;
+  c.seed = 5;
+  return c;
+}
+
+TEST(NextChar, ShapesAndTokenRanges) {
+  const FederatedDataset fed = make_next_char(small_next_char());
+  EXPECT_EQ(fed.num_classes, 12u);
+  EXPECT_EQ(fed.vocab_size, 12u);
+  for (const auto& client : fed.clients) {
+    EXPECT_GE(client.train.size(), 1u);
+    for (const auto& seq : client.train.tokens) {
+      EXPECT_EQ(seq.size(), 8u);
+      for (auto tok : seq) {
+        EXPECT_GE(tok, 0);
+        EXPECT_LT(tok, 12);
+      }
+    }
+    client.train.validate(12);
+    client.test.validate(12);
+  }
+}
+
+TEST(NextChar, Deterministic) {
+  const FederatedDataset a = make_next_char(small_next_char());
+  const FederatedDataset b = make_next_char(small_next_char());
+  EXPECT_EQ(a.clients[2].train.tokens, b.clients[2].train.tokens);
+  EXPECT_EQ(a.clients[2].train.labels, b.clients[2].train.labels);
+}
+
+TEST(NextChar, DevicesEmitDifferentText) {
+  const FederatedDataset fed = make_next_char(small_next_char());
+  // With device-specific transition matrices, unigram frequencies should
+  // differ noticeably across devices.
+  auto unigram = [&](std::size_t k) {
+    std::vector<double> freq(12, 0.0);
+    double total = 0.0;
+    for (const auto& seq : fed.clients[k].train.tokens) {
+      for (auto t : seq) {
+        freq[static_cast<std::size_t>(t)] += 1.0;
+        total += 1.0;
+      }
+    }
+    for (auto& f : freq) f /= total;
+    return freq;
+  };
+  const auto f0 = unigram(0);
+  const auto f1 = unigram(1);
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) l1 += std::abs(f0[i] - f1[i]);
+  EXPECT_GT(l1, 0.1);
+}
+
+TEST(NextChar, PowerLawStreamLengths) {
+  NextCharConfig c = small_next_char();
+  c.num_devices = 40;
+  c.sigma_log = 1.2;
+  const FederatedDataset fed = make_next_char(c);
+  std::size_t max_n = 0, min_n = SIZE_MAX;
+  for (const auto& client : fed.clients) {
+    const std::size_t n = client.train.size() + client.test.size();
+    max_n = std::max(max_n, n);
+    min_n = std::min(min_n, n);
+  }
+  EXPECT_GT(max_n, 2 * min_n);
+}
+
+TEST(Sentiment, ShapesAndBinaryLabels) {
+  const FederatedDataset fed = make_sentiment(small_sentiment());
+  EXPECT_EQ(fed.num_classes, 2u);
+  for (const auto& client : fed.clients) {
+    for (auto y : client.train.labels) {
+      EXPECT_TRUE(y == 0 || y == 1);
+    }
+    for (const auto& seq : client.train.tokens) {
+      EXPECT_EQ(seq.size(), 6u);
+      for (auto tok : seq) {
+        EXPECT_GE(tok, 0);
+        EXPECT_LT(tok, 40);
+      }
+    }
+  }
+}
+
+TEST(Sentiment, Deterministic) {
+  const FederatedDataset a = make_sentiment(small_sentiment());
+  const FederatedDataset b = make_sentiment(small_sentiment());
+  EXPECT_EQ(a.clients[3].train.tokens, b.clients[3].train.tokens);
+}
+
+// The sentiment signal must be learnable: counting positive vs negative
+// tokens should predict the label much better than chance.
+TEST(Sentiment, TokenCountingPredictsLabel) {
+  SentimentConfig c = small_sentiment();
+  c.num_devices = 20;
+  const FederatedDataset fed = make_sentiment(c);
+  const std::int32_t n_pos = static_cast<std::int32_t>(
+      c.num_sentiment_tokens / 2);
+  std::size_t correct = 0, total = 0;
+  for (const auto& client : fed.clients) {
+    for (std::size_t i = 0; i < client.train.size(); ++i) {
+      int score = 0;
+      for (auto tok : client.train.tokens[i]) {
+        if (tok < n_pos) ++score;
+        else if (tok < 2 * n_pos) --score;
+      }
+      if (score != 0) {
+        const std::int32_t pred = score > 0 ? 1 : 0;
+        if (pred == client.train.labels[i]) ++correct;
+        ++total;
+      }
+    }
+  }
+  ASSERT_GT(total, 100u);
+  // flip_rate = 0.25 by default, so token counting is right ~3/4 of the
+  // time per token; well above the 0.5 chance level either way.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.62);
+}
+
+TEST(Sentiment, DeviceClassPriorsVary) {
+  SentimentConfig c = small_sentiment();
+  c.num_devices = 30;
+  const FederatedDataset fed = make_sentiment(c);
+  double min_rate = 1.0, max_rate = 0.0;
+  for (const auto& client : fed.clients) {
+    double pos = 0.0;
+    for (auto y : client.train.labels) pos += y;
+    const double rate = pos / static_cast<double>(client.train.size());
+    min_rate = std::min(min_rate, rate);
+    max_rate = std::max(max_rate, rate);
+  }
+  EXPECT_GT(max_rate - min_rate, 0.2);  // statistical heterogeneity
+}
+
+TEST(Sentiment, RejectsOddSentimentTokenCount) {
+  SentimentConfig c = small_sentiment();
+  c.num_sentiment_tokens = 7;
+  EXPECT_THROW(make_sentiment(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fed

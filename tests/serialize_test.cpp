@@ -1,0 +1,114 @@
+#include "support/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fed {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::filesystem::remove_all("/tmp/fedprox_serialize_test");
+  }
+  const std::string dir = "/tmp/fedprox_serialize_test";
+};
+
+TEST_F(SerializeTest, CheckpointRoundTripsExactly) {
+  Vector w{1.5, -2.25, 0.0, 1e-300, 1e300, 3.141592653589793};
+  const std::string path = dir + "/model.bin";
+  save_checkpoint(path, w);
+  const Vector loaded = load_checkpoint(path);
+  EXPECT_EQ(w, loaded);
+}
+
+TEST_F(SerializeTest, EmptyCheckpointSupported) {
+  const std::string path = dir + "/empty.bin";
+  save_checkpoint(path, {});
+  EXPECT_TRUE(load_checkpoint(path).empty());
+}
+
+TEST_F(SerializeTest, DimensionValidation) {
+  const std::string path = dir + "/model.bin";
+  save_checkpoint(path, Vector{1.0, 2.0});
+  EXPECT_NO_THROW(load_checkpoint(path, 2));
+  EXPECT_THROW(load_checkpoint(path, 3), std::runtime_error);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint(dir + "/nope.bin"), std::runtime_error);
+}
+
+TEST_F(SerializeTest, BadMagicThrows) {
+  const std::string path = dir + "/bad.bin";
+  std::filesystem::create_directories(dir);
+  std::ofstream(path) << "not a checkpoint at all";
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncatedPayloadThrows) {
+  const std::string path = dir + "/model.bin";
+  save_checkpoint(path, Vector{1.0, 2.0, 3.0});
+  // Chop the last 8 bytes off.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 8);
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TrailingBytesThrow) {
+  const std::string path = dir + "/model.bin";
+  save_checkpoint(path, Vector{1.0});
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << "junk";
+  out.close();
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, HistoryRoundTrip) {
+  TrainHistory h;
+  for (std::size_t i = 0; i < 4; ++i) {
+    RoundMetrics m;
+    m.round = i;
+    m.evaluated = (i % 2 == 0);
+    m.train_loss = 1.0 / (i + 1);
+    m.train_accuracy = 0.25 * i;
+    m.test_accuracy = 0.2 * i;
+    m.grad_variance = 10.0 * i;
+    m.dissimilarity_b = 1.0 + 0.1 * i;
+    m.dissimilarity_measured = (i == 2);
+    m.mu = 0.1 * i;
+    m.mean_gamma = 0.5;
+    m.gamma_measured = (i == 1);
+    m.contributors = i;
+    m.stragglers = 4 - i;
+    h.rounds.push_back(m);
+  }
+  const std::string path = dir + "/history.csv";
+  save_history(path, h);
+  const TrainHistory loaded = load_history(path);
+  ASSERT_EQ(loaded.rounds.size(), h.rounds.size());
+  for (std::size_t i = 0; i < h.rounds.size(); ++i) {
+    EXPECT_EQ(loaded.rounds[i].round, h.rounds[i].round);
+    EXPECT_EQ(loaded.rounds[i].evaluated, h.rounds[i].evaluated);
+    EXPECT_DOUBLE_EQ(loaded.rounds[i].train_loss, h.rounds[i].train_loss);
+    EXPECT_DOUBLE_EQ(loaded.rounds[i].test_accuracy,
+                     h.rounds[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(loaded.rounds[i].mu, h.rounds[i].mu);
+    EXPECT_EQ(loaded.rounds[i].gamma_measured, h.rounds[i].gamma_measured);
+    EXPECT_EQ(loaded.rounds[i].contributors, h.rounds[i].contributors);
+    EXPECT_EQ(loaded.rounds[i].stragglers, h.rounds[i].stragglers);
+  }
+}
+
+TEST_F(SerializeTest, LoadHistoryRejectsMalformedRow) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/bad.csv";
+  std::ofstream(path) << "header\n1,2,3\n";
+  EXPECT_THROW(load_history(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fed

@@ -1,0 +1,47 @@
+#include "support/sparkline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace fed {
+namespace {
+
+TEST(Sparkline, EmptyIsEmpty) { EXPECT_EQ(sparkline({}), ""); }
+
+TEST(Sparkline, MonotoneSeriesUsesExtremes) {
+  Vector v{0.0, 1.0, 2.0, 3.0};
+  const std::string s = sparkline(v);
+  EXPECT_NE(s.find("▁"), std::string::npos);  // min block present
+  EXPECT_NE(s.find("█"), std::string::npos);  // max block present
+}
+
+TEST(Sparkline, ConstantSeriesIsMidHeight) {
+  Vector v{5.0, 5.0, 5.0};
+  EXPECT_EQ(sparkline(v), "▄▄▄");
+}
+
+TEST(Sparkline, NonFiniteRendersBang) {
+  Vector v{1.0, std::nan(""), 2.0};
+  const std::string s = sparkline(v);
+  EXPECT_NE(s.find('!'), std::string::npos);
+}
+
+TEST(Sparkline, LengthMatchesInput) {
+  Vector v{1.0, 4.0, 2.0, 8.0, 0.0};
+  // 5 glyphs, each 3 bytes of UTF-8.
+  EXPECT_EQ(sparkline(v).size(), 15u);
+}
+
+TEST(Sparkline, DecreasingLossLooksDecreasing) {
+  Vector v{2.3, 1.1, 0.8, 0.6, 0.5};
+  const std::string s = sparkline(v);
+  // First glyph is the tallest block, last is the shortest.
+  EXPECT_EQ(s.substr(0, 3), "█");
+  EXPECT_EQ(s.substr(s.size() - 3), "▁");
+}
+
+}  // namespace
+}  // namespace fed

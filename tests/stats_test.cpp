@@ -1,0 +1,51 @@
+#include "data/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fed {
+namespace {
+
+TEST(Stats, ComputesMeanAndPopulationStdev) {
+  FederatedDataset fed;
+  fed.name = "toy";
+  Rng gen = make_stream(1, StreamKind::kTest);
+  fed.clients.resize(3);
+  // Device totals (train+test): 10, 20, 30.
+  fed.clients[0].train = testing::make_random_dataset(8, 2, 2, gen);
+  fed.clients[0].test = testing::make_random_dataset(2, 2, 2, gen);
+  fed.clients[1].train = testing::make_random_dataset(16, 2, 2, gen);
+  fed.clients[1].test = testing::make_random_dataset(4, 2, 2, gen);
+  fed.clients[2].train = testing::make_random_dataset(24, 2, 2, gen);
+  fed.clients[2].test = testing::make_random_dataset(6, 2, 2, gen);
+  const DatasetStats s = compute_stats(fed);
+  EXPECT_EQ(s.name, "toy");
+  EXPECT_EQ(s.devices, 3u);
+  EXPECT_EQ(s.samples, 60u);
+  EXPECT_DOUBLE_EQ(s.mean_per_device, 20.0);
+  EXPECT_NEAR(s.stdev_per_device, std::sqrt(200.0 / 3.0), 1e-9);
+}
+
+TEST(Stats, EmptyFederationIsZero) {
+  FederatedDataset fed;
+  const DatasetStats s = compute_stats(fed);
+  EXPECT_EQ(s.devices, 0u);
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_per_device, 0.0);
+}
+
+TEST(Stats, TableRendersAllRows) {
+  std::vector<DatasetStats> rows(2);
+  rows[0].name = "alpha";
+  rows[0].devices = 5;
+  rows[1].name = "beta";
+  rows[1].devices = 7;
+  const std::string table = format_stats_table(rows);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("Samples/device mean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fed
