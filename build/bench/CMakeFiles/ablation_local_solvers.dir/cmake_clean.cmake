@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_solvers.dir/ablation_local_solvers.cpp.o"
+  "CMakeFiles/ablation_local_solvers.dir/ablation_local_solvers.cpp.o.d"
+  "ablation_local_solvers"
+  "ablation_local_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mu_policies.dir/ablation_mu_policies.cpp.o"
+  "CMakeFiles/ablation_mu_policies.dir/ablation_mu_policies.cpp.o.d"
+  "ablation_mu_policies"
+  "ablation_mu_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mu_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

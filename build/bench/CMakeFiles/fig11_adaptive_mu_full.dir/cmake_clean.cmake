@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_adaptive_mu_full.dir/fig11_adaptive_mu_full.cpp.o"
+  "CMakeFiles/fig11_adaptive_mu_full.dir/fig11_adaptive_mu_full.cpp.o.d"
+  "fig11_adaptive_mu_full"
+  "fig11_adaptive_mu_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_adaptive_mu_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

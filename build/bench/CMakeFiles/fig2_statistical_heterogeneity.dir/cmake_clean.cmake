@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_statistical_heterogeneity.dir/fig2_statistical_heterogeneity.cpp.o"
+  "CMakeFiles/fig2_statistical_heterogeneity.dir/fig2_statistical_heterogeneity.cpp.o.d"
+  "fig2_statistical_heterogeneity"
+  "fig2_statistical_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_statistical_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

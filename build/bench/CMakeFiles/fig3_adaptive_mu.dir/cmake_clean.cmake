@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_adaptive_mu.dir/fig3_adaptive_mu.cpp.o"
+  "CMakeFiles/fig3_adaptive_mu.dir/fig3_adaptive_mu.cpp.o.d"
+  "fig3_adaptive_mu"
+  "fig3_adaptive_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_adaptive_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_feddane.dir/fig4_feddane.cpp.o"
+  "CMakeFiles/fig4_feddane.dir/fig4_feddane.cpp.o.d"
+  "fig4_feddane"
+  "fig4_feddane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_feddane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_iid_stragglers.dir/fig5_iid_stragglers.cpp.o"
+  "CMakeFiles/fig5_iid_stragglers.dir/fig5_iid_stragglers.cpp.o.d"
+  "fig5_iid_stragglers"
+  "fig5_iid_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_iid_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_synthetic_full.dir/fig6_synthetic_full.cpp.o"
+  "CMakeFiles/fig6_synthetic_full.dir/fig6_synthetic_full.cpp.o.d"
+  "fig6_synthetic_full"
+  "fig6_synthetic_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_synthetic_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

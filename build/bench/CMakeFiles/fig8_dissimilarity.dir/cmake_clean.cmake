@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dissimilarity.dir/fig8_dissimilarity.cpp.o"
+  "CMakeFiles/fig8_dissimilarity.dir/fig8_dissimilarity.cpp.o.d"
+  "fig8_dissimilarity"
+  "fig8_dissimilarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dissimilarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

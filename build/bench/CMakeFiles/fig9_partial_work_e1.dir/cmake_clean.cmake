@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_partial_work_e1.dir/fig9_partial_work_e1.cpp.o"
+  "CMakeFiles/fig9_partial_work_e1.dir/fig9_partial_work_e1.cpp.o.d"
+  "fig9_partial_work_e1"
+  "fig9_partial_work_e1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_partial_work_e1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

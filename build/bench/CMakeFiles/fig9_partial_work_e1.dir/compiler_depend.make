@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_partial_work_e1.
+# This may be replaced when dependencies are built.

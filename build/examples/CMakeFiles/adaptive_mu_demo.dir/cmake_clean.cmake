@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_mu_demo.dir/adaptive_mu_demo.cpp.o"
+  "CMakeFiles/adaptive_mu_demo.dir/adaptive_mu_demo.cpp.o.d"
+  "adaptive_mu_demo"
+  "adaptive_mu_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_mu_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_interchange.dir/leaf_interchange.cpp.o"
+  "CMakeFiles/leaf_interchange.dir/leaf_interchange.cpp.o.d"
+  "leaf_interchange"
+  "leaf_interchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_interchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

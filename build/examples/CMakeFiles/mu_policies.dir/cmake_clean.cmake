@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mu_policies.dir/mu_policies.cpp.o"
+  "CMakeFiles/mu_policies.dir/mu_policies.cpp.o.d"
+  "mu_policies"
+  "mu_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mu_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straggler_tolerance.dir/straggler_tolerance.cpp.o"
+  "CMakeFiles/straggler_tolerance.dir/straggler_tolerance.cpp.o.d"
+  "straggler_tolerance"
+  "straggler_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_dashboard.dir/theory_dashboard.cpp.o"
+  "CMakeFiles/theory_dashboard.dir/theory_dashboard.cpp.o.d"
+  "theory_dashboard"
+  "theory_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_smoke "/root/repo/build/examples/quickstart" "--rounds" "3")
+set_tests_properties(example_quickstart_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;add_fedprox_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_straggler_tolerance_smoke "/root/repo/build/examples/straggler_tolerance" "--rounds" "4")
+set_tests_properties(example_straggler_tolerance_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;add_fedprox_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_solver_smoke "/root/repo/build/examples/custom_solver" "--rounds" "3")
+set_tests_properties(example_custom_solver_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;add_fedprox_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_mu_demo_smoke "/root/repo/build/examples/adaptive_mu_demo" "--rounds" "4")
+set_tests_properties(example_adaptive_mu_demo_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;add_fedprox_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mu_policies_smoke "/root/repo/build/examples/mu_policies" "--rounds" "4")
+set_tests_properties(example_mu_policies_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;add_fedprox_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_checkpoint_resume_smoke "/root/repo/build/examples/checkpoint_resume" "--rounds" "4")
+set_tests_properties(example_checkpoint_resume_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;add_fedprox_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_theory_dashboard_smoke "/root/repo/build/examples/theory_dashboard" "--epochs" "2")
+set_tests_properties(example_theory_dashboard_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;add_fedprox_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_leaf_interchange_smoke "/root/repo/build/examples/leaf_interchange" "--rounds" "3")
+set_tests_properties(example_leaf_interchange_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;17;add_fedprox_example;/root/repo/examples/CMakeLists.txt;0;")

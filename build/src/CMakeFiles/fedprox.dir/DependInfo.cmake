@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_mu.cpp" "src/CMakeFiles/fedprox.dir/core/adaptive_mu.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/core/adaptive_mu.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "src/CMakeFiles/fedprox.dir/core/convergence.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/core/convergence.cpp.o.d"
+  "/root/repo/src/core/dissimilarity.cpp" "src/CMakeFiles/fedprox.dir/core/dissimilarity.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/core/dissimilarity.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/fedprox.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/feddane.cpp" "src/CMakeFiles/fedprox.dir/core/feddane.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/core/feddane.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/fedprox.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/fedprox.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/fedprox.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/image_like.cpp" "src/CMakeFiles/fedprox.dir/data/image_like.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/data/image_like.cpp.o.d"
+  "/root/repo/src/data/leaf_json.cpp" "src/CMakeFiles/fedprox.dir/data/leaf_json.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/data/leaf_json.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/CMakeFiles/fedprox.dir/data/partition.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/data/partition.cpp.o.d"
+  "/root/repo/src/data/sequence.cpp" "src/CMakeFiles/fedprox.dir/data/sequence.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/data/sequence.cpp.o.d"
+  "/root/repo/src/data/stats.cpp" "src/CMakeFiles/fedprox.dir/data/stats.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/data/stats.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/fedprox.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/fedprox.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/grad_check.cpp" "src/CMakeFiles/fedprox.dir/nn/grad_check.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/grad_check.cpp.o.d"
+  "/root/repo/src/nn/logistic.cpp" "src/CMakeFiles/fedprox.dir/nn/logistic.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/logistic.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/fedprox.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/fedprox.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/fedprox.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/fedprox.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/module.cpp.o.d"
+  "/root/repo/src/optim/adam.cpp" "src/CMakeFiles/fedprox.dir/optim/adam.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/optim/adam.cpp.o.d"
+  "/root/repo/src/optim/gd.cpp" "src/CMakeFiles/fedprox.dir/optim/gd.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/optim/gd.cpp.o.d"
+  "/root/repo/src/optim/inexactness.cpp" "src/CMakeFiles/fedprox.dir/optim/inexactness.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/optim/inexactness.cpp.o.d"
+  "/root/repo/src/optim/prox_sgd.cpp" "src/CMakeFiles/fedprox.dir/optim/prox_sgd.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/optim/prox_sgd.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/CMakeFiles/fedprox.dir/optim/sgd.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/optim/sgd.cpp.o.d"
+  "/root/repo/src/sim/aggregate.cpp" "src/CMakeFiles/fedprox.dir/sim/aggregate.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/sim/aggregate.cpp.o.d"
+  "/root/repo/src/sim/client.cpp" "src/CMakeFiles/fedprox.dir/sim/client.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/sim/client.cpp.o.d"
+  "/root/repo/src/sim/sampling.cpp" "src/CMakeFiles/fedprox.dir/sim/sampling.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/sim/sampling.cpp.o.d"
+  "/root/repo/src/sim/server.cpp" "src/CMakeFiles/fedprox.dir/sim/server.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/sim/server.cpp.o.d"
+  "/root/repo/src/sim/systems.cpp" "src/CMakeFiles/fedprox.dir/sim/systems.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/sim/systems.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/fedprox.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/CMakeFiles/fedprox.dir/support/csv.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/support/csv.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/CMakeFiles/fedprox.dir/support/json.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/support/json.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/CMakeFiles/fedprox.dir/support/log.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/support/log.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/fedprox.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/serialize.cpp" "src/CMakeFiles/fedprox.dir/support/serialize.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/support/serialize.cpp.o.d"
+  "/root/repo/src/support/sparkline.cpp" "src/CMakeFiles/fedprox.dir/support/sparkline.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/support/sparkline.cpp.o.d"
+  "/root/repo/src/support/threadpool.cpp" "src/CMakeFiles/fedprox.dir/support/threadpool.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/support/threadpool.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/fedprox.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/fedprox.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

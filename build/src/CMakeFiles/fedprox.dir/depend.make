@@ -1,0 +1,2 @@
+# Empty dependencies file for fedprox.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adam_clip_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/adam_clip_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/adam_clip_test.cpp.o.d"
+  "/root/repo/tests/adaptive_mu_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/adaptive_mu_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/adaptive_mu_test.cpp.o.d"
+  "/root/repo/tests/aggregate_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/aggregate_test.cpp.o.d"
+  "/root/repo/tests/bench_common_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/bench_common_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/bench_common_test.cpp.o.d"
+  "/root/repo/tests/client_server_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/client_server_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/client_server_test.cpp.o.d"
+  "/root/repo/tests/convergence_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/convergence_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/convergence_test.cpp.o.d"
+  "/root/repo/tests/dataset_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/dataset_test.cpp.o.d"
+  "/root/repo/tests/dissimilarity_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/dissimilarity_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/dissimilarity_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/feddane_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/feddane_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/feddane_test.cpp.o.d"
+  "/root/repo/tests/image_like_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/image_like_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/image_like_test.cpp.o.d"
+  "/root/repo/tests/inexactness_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/inexactness_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/inexactness_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/leaf_json_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/leaf_json_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/leaf_json_test.cpp.o.d"
+  "/root/repo/tests/nn_logistic_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/nn_logistic_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/nn_logistic_test.cpp.o.d"
+  "/root/repo/tests/nn_loss_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/nn_loss_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/nn_loss_test.cpp.o.d"
+  "/root/repo/tests/nn_lstm_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/nn_lstm_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/nn_lstm_test.cpp.o.d"
+  "/root/repo/tests/nn_mlp_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/nn_mlp_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/nn_mlp_test.cpp.o.d"
+  "/root/repo/tests/optim_solver_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/optim_solver_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/optim_solver_test.cpp.o.d"
+  "/root/repo/tests/parallel_determinism_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/parallel_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/parallel_determinism_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/registry_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/registry_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/registry_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/sampling_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/sampling_test.cpp.o.d"
+  "/root/repo/tests/sequence_data_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/sequence_data_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/sequence_data_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/sparkline_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/sparkline_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/sparkline_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/synthetic_data_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/synthetic_data_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/synthetic_data_test.cpp.o.d"
+  "/root/repo/tests/systems_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/systems_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/systems_test.cpp.o.d"
+  "/root/repo/tests/tensor_ops_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/tensor_ops_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/tensor_ops_test.cpp.o.d"
+  "/root/repo/tests/theory_mu_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/theory_mu_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/theory_mu_test.cpp.o.d"
+  "/root/repo/tests/trainer_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedprox.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
