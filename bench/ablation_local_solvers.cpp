@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
       double gamma = 0.0;
       std::size_t count = 0;
       for (const auto& m : r.history.rounds) {
-        if (m.gamma_measured) {
-          gamma += m.mean_gamma;
+        if (m.mean_gamma) {
+          gamma += *m.mean_gamma;
           ++count;
         }
       }

@@ -10,6 +10,10 @@ namespace fed::bench {
 
 BenchOptions parse_options(int argc, char** argv) {
   CliFlags flags(argc, argv);
+  return parse_options(flags);
+}
+
+BenchOptions parse_options(const CliFlags& flags) {
   BenchOptions options;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   options.scale = flags.get_double("scale", 1.0);
@@ -17,6 +21,7 @@ BenchOptions parse_options(int argc, char** argv) {
   options.rounds_override =
       static_cast<std::size_t>(flags.get_int("rounds", 0));
   options.out_dir = flags.get_string("out-dir", "bench_out");
+  options.trace_out = flags.get_optional_string("trace-out").value_or("");
   options.quick = flags.get_bool("quick", false);
   for (const auto& name : flags.unused()) {
     log_warn() << "ignoring unknown flag --" << name;
@@ -42,6 +47,13 @@ void apply_rounds(TrainerConfig& config, const Workload& workload,
       std::min(config.devices_per_round, workload.data.num_clients());
 }
 
+TraceCapture::TraceCapture(const BenchOptions& options) {
+  if (options.trace_out.empty()) return;
+  sink_ = std::make_unique<JsonlTraceSink>(options.trace_out);
+  observer_ = std::make_unique<TraceObserver>(*sink_);
+  log_info() << "streaming round traces to " << options.trace_out;
+}
+
 const char* metric_name(Metric metric) {
   switch (metric) {
     case Metric::kTrainLoss: return "training loss";
@@ -60,16 +72,16 @@ std::string render_series(const std::vector<VariantResult>& results,
   for (std::size_t v = 0; v < results.size(); ++v) {
     header.push_back(results[v].label);
     for (const auto& m : results[v].history.rounds) {
-      if (!m.evaluated) continue;
+      if (!m.evaluated()) continue;
       auto& row = rows[m.round];
       row.resize(results.size(), "-");
       double value = 0.0;
       switch (metric) {
-        case Metric::kTrainLoss: value = m.train_loss; break;
-        case Metric::kTestAccuracy: value = m.test_accuracy; break;
+        case Metric::kTrainLoss: value = *m.train_loss; break;
+        case Metric::kTestAccuracy: value = *m.test_accuracy; break;
         case Metric::kGradVariance:
-          if (!m.dissimilarity_measured) continue;
-          value = m.grad_variance;
+          if (!m.grad_variance) continue;
+          value = *m.grad_variance;
           break;
         case Metric::kMu: value = m.mu; break;
       }

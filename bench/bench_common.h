@@ -6,16 +6,19 @@
 //   --seed S         experiment seed (default 1)
 //   --epochs E       local epochs E (default 20, the paper's Figure 1/2)
 //   --out-dir DIR    where CSVs land (default bench_out/)
+//   --trace-out P    stream per-round JSONL phase traces to P (obs/)
 //   --quick          very small run for smoke-testing the harness
 // and prints the paper-style series table to stdout plus a CSV per figure.
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/registry.h"
+#include "obs/trace_sink.h"
 #include "support/cli.h"
 #include "support/csv.h"
 
@@ -27,11 +30,15 @@ struct BenchOptions {
   std::size_t epochs = 20;
   std::size_t rounds_override = 0;  // 0 = workload default
   std::string out_dir = "bench_out";
+  std::string trace_out;            // empty = tracing disabled
   bool quick = false;
 };
 
-// Parses the shared flags; warns about unknown ones.
+// Parses the shared flags; warns about unknown ones. Drivers with extra
+// flags should read them from their own CliFlags first, then hand it to
+// the CliFlags& overload so those reads suppress the unknown-flag warning.
 BenchOptions parse_options(int argc, char** argv);
+BenchOptions parse_options(const CliFlags& flags);
 
 // Loads a workload applying --scale/--quick/--rounds and dividing round
 // counts when quick mode is on.
@@ -41,6 +48,24 @@ Workload load_workload(const std::string& name, const BenchOptions& options);
 // workload defaults.
 void apply_rounds(TrainerConfig& config, const Workload& workload,
                   const BenchOptions& options);
+
+// Owns the JSONL trace sink + observer created from --trace-out. Keep it
+// alive for the whole driver run and pass observer() (nullptr when the
+// flag is unset) to RunVariantsOptions::observer:
+//
+//   TraceCapture trace(options);
+//   RunVariantsOptions rv;
+//   rv.observer = trace.observer();
+//   auto results = run_variants(workload, specs, rv);
+class TraceCapture {
+ public:
+  explicit TraceCapture(const BenchOptions& options);
+  TrainingObserver* observer() const { return observer_.get(); }
+
+ private:
+  std::unique_ptr<TraceSink> sink_;
+  std::unique_ptr<TrainingObserver> observer_;
+};
 
 // Renders one metric (selected by `metric`) of every variant against the
 // evaluated rounds, one column per variant — the paper's "series".

@@ -1,0 +1,138 @@
+// Round-phase timing benchmark: where a federated round's time goes, and
+// what the observability layer costs.
+//
+// Runs FedProx on Synthetic(1,1) for 20 rounds twice — observer-free
+// baseline vs. full instrumentation (JSONL trace sink + collector) — and
+// writes BENCH_trainer_round.json with per-phase means and the
+// instrumentation overhead. The JSONL trace itself lands next to the
+// CSVs (override with --trace-out).
+//
+//   ./bench_round_phases [--rounds 20] [--reps 3] [--stragglers 0.5]
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "obs/observer.h"
+#include "obs/trace_sink.h"
+#include "support/json.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace fed;
+using namespace fed::bench;
+
+double run_once(const Workload& workload, const TrainerConfig& config,
+                TrainingObserver* observer) {
+  Trainer trainer(*workload.model, workload.data, config);
+  if (observer) trainer.add_observer(*observer);
+  Stopwatch timer;
+  trainer.run();
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::size_t reps = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("reps", 3)));
+  const double stragglers = flags.get_double("stragglers", 0.5);
+  const std::string json_path =
+      flags.get_string("bench-json", "BENCH_trainer_round.json");
+  BenchOptions options = parse_options(flags);
+  const std::size_t rounds = options.rounds_override ? options.rounds_override
+                                                     : 20;
+  const std::string trace_path =
+      options.trace_out.empty() ? options.out_dir + "/trainer_round_trace.jsonl"
+                                : options.trace_out;
+
+  print_banner("bench_round_phases",
+               "per-phase round timing + observability overhead");
+
+  const Workload workload = load_workload("synthetic_1_1", options);
+  TrainerConfig config = base_config(workload, Algorithm::kFedProx,
+                                     workload.best_mu, stragglers,
+                                     options.epochs, options.seed);
+  config.rounds = rounds;
+  config.eval_every = 1;
+  config.devices_per_round =
+      std::min(config.devices_per_round, workload.data.num_clients());
+
+  // Warm-up (thread pool, page cache), then alternate baseline/observed
+  // reps and keep the minimum of each — the standard way to strip
+  // scheduler noise from a wall-clock comparison.
+  run_once(workload, config, nullptr);
+
+  double baseline = 0.0;
+  double observed = 0.0;
+  TraceCollector collector;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const double b = run_once(workload, config, nullptr);
+    baseline = rep ? std::min(baseline, b) : b;
+
+    collector.clear();
+    JsonlTraceSink sink(trace_path);
+    TraceObserver tracer(sink);
+    CompositeObserver stack;
+    stack.add(tracer);
+    stack.add(collector);
+    const double o = run_once(workload, config, &stack);
+    observed = rep ? std::min(observed, o) : o;
+  }
+
+  const auto& traces = collector.traces();
+  const TraceSummary summary = summarize(traces);
+  const double overhead_pct =
+      baseline > 0.0 ? 100.0 * (observed - baseline) / baseline : 0.0;
+  const double n = summary.rounds ? static_cast<double>(summary.rounds) : 1.0;
+
+  double solve_client_total = 0.0;
+  std::size_t solve_count = 0;
+  for (const auto& t : traces) {
+    solve_client_total += t.solve.total_seconds;
+    solve_count += t.solve.count;
+  }
+
+  JsonObject phases;
+  phases["sampling_mean_s"] = summary.sampling_seconds / n;
+  phases["solve_wall_mean_s"] = summary.solve_wall_seconds / n;
+  phases["aggregate_mean_s"] = summary.aggregate_seconds / n;
+  phases["eval_mean_s"] = summary.eval_seconds / n;
+  phases["client_solve_mean_s"] =
+      solve_count ? solve_client_total / static_cast<double>(solve_count) : 0.0;
+
+  JsonObject out;
+  out["benchmark"] = "trainer_round_phases";
+  out["workload"] = workload.name;
+  out["algorithm"] = "FedProx";
+  out["rounds"] = rounds;
+  out["devices_per_round"] = config.devices_per_round;
+  out["straggler_fraction"] = stragglers;
+  out["reps"] = reps;
+  out["baseline_seconds"] = baseline;
+  out["observed_seconds"] = observed;
+  out["overhead_pct"] = overhead_pct;
+  out["phases"] = std::move(phases);
+  out["bytes_down_total"] = summary.bytes_down;
+  out["bytes_up_total"] = summary.bytes_up;
+  out["trace_path"] = trace_path;
+  save_json_file(json_path, JsonValue(std::move(out)));
+
+  StdoutSummarySink stdout_sink;
+  RunInfo info;
+  info.algorithm = "FedProx";
+  info.rounds = rounds;
+  stdout_sink.begin_run(info);
+  for (const auto& t : traces) {
+    RoundMetrics unused;
+    stdout_sink.write(unused, t);
+  }
+  stdout_sink.end_run(TrainHistory{});
+
+  std::cout << "\nbaseline " << baseline << "s, instrumented " << observed
+            << "s (overhead " << TablePrinter::fmt(overhead_pct, 2)
+            << "%)\nwrote " << json_path << " and " << trace_path << "\n";
+  return 0;
+}

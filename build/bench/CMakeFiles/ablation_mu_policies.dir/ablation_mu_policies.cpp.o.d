@@ -154,11 +154,7 @@ bench/CMakeFiles/ablation_mu_policies.dir/ablation_mu_policies.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/experiment.h \
- /root/repo/src/core/registry.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -198,7 +194,11 @@ bench/CMakeFiles/ablation_mu_policies.dir/ablation_mu_policies.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/data/dataset.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/experiment.h \
+ /root/repo/src/core/registry.h /root/repo/src/data/dataset.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/support/rng.h \
  /root/repo/src/tensor/tensor.h /usr/include/c++/12/cassert \
@@ -236,7 +236,9 @@ bench/CMakeFiles/ablation_mu_policies.dir/ablation_mu_policies.cpp.o: \
  /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/support/cli.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/obs/trace_sink.h \
+ /root/repo/src/obs/observer.h /root/repo/src/obs/trace.h \
+ /root/repo/src/support/json.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /root/repo/src/sim/client.h /root/repo/src/support/cli.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_round_phases.dir/bench_round_phases.cpp.o"
+  "CMakeFiles/bench_round_phases.dir/bench_round_phases.cpp.o.d"
+  "bench_round_phases"
+  "bench_round_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_round_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

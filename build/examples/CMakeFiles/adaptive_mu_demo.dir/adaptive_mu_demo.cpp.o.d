@@ -231,10 +231,13 @@ examples/CMakeFiles/adaptive_mu_demo.dir/adaptive_mu_demo.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/thread /root/repo/src/optim/solver.h \
  /root/repo/src/sim/sampling.h /root/repo/src/sim/systems.h \
- /root/repo/src/support/cli.h /usr/include/c++/12/map \
+ /root/repo/src/obs/observer.h /root/repo/src/obs/trace.h \
+ /root/repo/src/support/json.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/csv.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /root/repo/src/sim/client.h /root/repo/src/support/cli.h \
+ /root/repo/src/support/csv.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc

@@ -29,6 +29,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/fedprox.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/lstm.cpp.o.d"
   "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/fedprox.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/mlp.cpp.o.d"
   "/root/repo/src/nn/module.cpp" "src/CMakeFiles/fedprox.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/nn/module.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/fedprox.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/observer.cpp" "src/CMakeFiles/fedprox.dir/obs/observer.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/obs/observer.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/fedprox.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/obs/trace_sink.cpp" "src/CMakeFiles/fedprox.dir/obs/trace_sink.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/obs/trace_sink.cpp.o.d"
   "/root/repo/src/optim/adam.cpp" "src/CMakeFiles/fedprox.dir/optim/adam.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/optim/adam.cpp.o.d"
   "/root/repo/src/optim/gd.cpp" "src/CMakeFiles/fedprox.dir/optim/gd.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/optim/gd.cpp.o.d"
   "/root/repo/src/optim/inexactness.cpp" "src/CMakeFiles/fedprox.dir/optim/inexactness.cpp.o" "gcc" "src/CMakeFiles/fedprox.dir/optim/inexactness.cpp.o.d"

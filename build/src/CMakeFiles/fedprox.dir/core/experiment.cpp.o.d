@@ -258,5 +258,10 @@ src/CMakeFiles/fedprox.dir/core/experiment.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/support/log.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/observer.h \
+ /root/repo/src/obs/trace.h /root/repo/src/support/json.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /root/repo/src/sim/client.h /root/repo/src/support/log.h \
  /root/repo/src/support/stopwatch.h /usr/include/c++/12/chrono

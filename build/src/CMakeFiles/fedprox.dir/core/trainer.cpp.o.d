@@ -252,8 +252,13 @@ src/CMakeFiles/fedprox.dir/core/trainer.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/feddane.h \
- /root/repo/src/optim/sgd.h /root/repo/src/sim/aggregate.h \
- /root/repo/src/sim/client.h /root/repo/src/sim/server.h \
+ /root/repo/src/obs/observer.h /root/repo/src/obs/trace.h \
+ /root/repo/src/support/json.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /root/repo/src/sim/client.h /root/repo/src/optim/sgd.h \
+ /root/repo/src/sim/aggregate.h /root/repo/src/sim/server.h \
  /root/repo/src/support/log.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/tensor/ops.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/support/stopwatch.h \
+ /usr/include/c++/12/chrono /root/repo/src/tensor/ops.h

@@ -202,4 +202,9 @@ src/CMakeFiles/fedprox.dir/sim/client.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/optim/solver.h \
  /root/repo/src/sim/systems.h /root/repo/src/optim/inexactness.h \
- /root/repo/src/tensor/ops.h
+ /root/repo/src/support/stopwatch.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/tensor/ops.h

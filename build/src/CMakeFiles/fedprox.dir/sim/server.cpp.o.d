@@ -226,4 +226,8 @@ src/CMakeFiles/fedprox.dir/sim/server.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/support/stopwatch.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

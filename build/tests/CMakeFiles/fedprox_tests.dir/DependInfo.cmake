@@ -27,6 +27,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/nn_loss_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/nn_loss_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/nn_loss_test.cpp.o.d"
   "/root/repo/tests/nn_lstm_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/nn_lstm_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/nn_lstm_test.cpp.o.d"
   "/root/repo/tests/nn_mlp_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/nn_mlp_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/nn_mlp_test.cpp.o.d"
+  "/root/repo/tests/obs_metrics_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/obs_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/obs_metrics_test.cpp.o.d"
+  "/root/repo/tests/obs_observer_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/obs_observer_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/obs_observer_test.cpp.o.d"
+  "/root/repo/tests/obs_trace_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/obs_trace_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/obs_trace_test.cpp.o.d"
   "/root/repo/tests/optim_solver_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/optim_solver_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/optim_solver_test.cpp.o.d"
   "/root/repo/tests/parallel_determinism_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/parallel_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/parallel_determinism_test.cpp.o.d"
   "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/fedprox_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/fedprox_tests.dir/partition_test.cpp.o.d"

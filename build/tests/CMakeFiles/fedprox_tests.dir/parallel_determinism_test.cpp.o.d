@@ -314,4 +314,6 @@ tests/CMakeFiles/fedprox_tests.dir/parallel_determinism_test.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/optim/solver.h \
  /root/repo/src/sim/sampling.h /root/repo/src/sim/systems.h \
  /root/repo/src/data/synthetic.h /root/repo/src/nn/logistic.h \
+ /root/repo/src/obs/observer.h /root/repo/src/obs/trace.h \
+ /root/repo/src/support/json.h /root/repo/src/sim/client.h \
  /root/repo/src/support/log.h

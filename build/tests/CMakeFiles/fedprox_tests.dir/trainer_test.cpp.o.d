@@ -311,4 +311,6 @@ tests/CMakeFiles/fedprox_tests.dir/trainer_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/data/synthetic.h /root/repo/src/nn/logistic.h \
+ /root/repo/src/obs/observer.h /root/repo/src/obs/trace.h \
+ /root/repo/src/support/json.h /root/repo/src/sim/client.h \
  /root/repo/src/optim/gd.h /root/repo/src/support/log.h

@@ -7,8 +7,25 @@
 
 #include "core/registry.h"
 #include "core/trainer.h"
+#include "obs/observer.h"
 #include "support/cli.h"
 #include "support/csv.h"
+
+namespace {
+
+struct MuTableObserver : fed::TrainingObserver {
+  explicit MuTableObserver(fed::TablePrinter& table) : table(table) {}
+  void on_round_end(const fed::RoundMetrics& m,
+                    const fed::RoundTrace&) override {
+    if (!m.evaluated()) return;
+    table.add_row({std::to_string(m.round), fed::TablePrinter::fmt(m.mu, 2),
+                   fed::TablePrinter::fmt(*m.train_loss),
+                   fed::TablePrinter::fmt(*m.test_accuracy)});
+  }
+  fed::TablePrinter& table;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fed;
@@ -37,12 +54,8 @@ int main(int argc, char** argv) {
 
   Trainer trainer(*w.model, w.data, config);
   TablePrinter table({"round", "mu", "train loss", "test accuracy"});
-  trainer.set_round_callback([&](const RoundMetrics& m) {
-    if (!m.evaluated) return;
-    table.add_row({std::to_string(m.round), TablePrinter::fmt(m.mu, 2),
-                   TablePrinter::fmt(m.train_loss),
-                   TablePrinter::fmt(m.test_accuracy)});
-  });
+  MuTableObserver observer(table);
+  trainer.add_observer(observer);
   trainer.run();
   std::cout << table.render();
   return 0;

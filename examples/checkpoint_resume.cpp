@@ -64,9 +64,9 @@ int main(int argc, char** argv) {
                                  part2.final_parameters[i]));
   }
   std::cout << "final loss (unbroken run):  "
-            << reference.final_metrics().train_loss << "\n"
+            << *reference.final_metrics().train_loss << "\n"
             << "final loss (resumed run):   "
-            << part2.final_metrics().train_loss << "\n"
+            << *part2.final_metrics().train_loss << "\n"
             << "max |param difference|:     " << max_diff << "\n"
             << (max_diff == 0.0 ? "resume is bit-exact\n"
                                 : "WARNING: trajectories diverged\n");

@@ -86,8 +86,8 @@ int main(int argc, char** argv) {
     double total = 0.0;
     std::size_t count = 0;
     for (const auto& m : h.rounds) {
-      if (m.gamma_measured) {
-        total += m.mean_gamma;
+      if (m.mean_gamma) {
+        total += *m.mean_gamma;
         ++count;
       }
     }
@@ -97,12 +97,12 @@ int main(int argc, char** argv) {
   TablePrinter table({"local solver", "final loss", "final test accuracy",
                       "mean realized gamma"});
   table.add_row({"sgd (built-in)",
-                 TablePrinter::fmt(plain.final_metrics().train_loss),
-                 TablePrinter::fmt(plain.final_metrics().test_accuracy),
+                 TablePrinter::fmt(*plain.final_metrics().train_loss),
+                 TablePrinter::fmt(*plain.final_metrics().test_accuracy),
                  TablePrinter::fmt(mean_gamma(plain))});
   table.add_row({"momentum_sgd (user-defined)",
-                 TablePrinter::fmt(momentum.final_metrics().train_loss),
-                 TablePrinter::fmt(momentum.final_metrics().test_accuracy),
+                 TablePrinter::fmt(*momentum.final_metrics().train_loss),
+                 TablePrinter::fmt(*momentum.final_metrics().test_accuracy),
                  TablePrinter::fmt(mean_gamma(momentum))});
   std::cout << table.render()
             << "\nSmaller gamma = more exact local solves (Definition 2).\n"

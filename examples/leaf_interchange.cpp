@@ -42,9 +42,9 @@ int main(int argc, char** argv) {
   const auto original = Trainer(*w.model, w.data, config).run();
   const auto roundtrip = Trainer(*w.model, imported, config).run();
   std::cout << "final loss on original: "
-            << original.final_metrics().train_loss << "\n"
+            << *original.final_metrics().train_loss << "\n"
             << "final loss on imported: "
-            << roundtrip.final_metrics().train_loss << "\n"
+            << *roundtrip.final_metrics().train_loss << "\n"
             << (original.final_parameters == roundtrip.final_parameters
                     ? "round-trip training is bit-exact\n"
                     : "WARNING: trajectories differ\n");

@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
     auto h = Trainer(*w.model, w.data, config).run();
     const auto& fin = h.final_metrics();
     table.add_row({label, TablePrinter::fmt(fin.mu, 3),
-                   TablePrinter::fmt(fin.train_loss),
-                   TablePrinter::fmt(fin.test_accuracy)});
+                   TablePrinter::fmt(*fin.train_loss),
+                   TablePrinter::fmt(*fin.test_accuracy)});
   };
   run("fixed mu=" + std::to_string(w.best_mu), fixed);
   run("adaptive (loss heuristic)", adaptive);

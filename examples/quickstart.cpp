@@ -2,13 +2,33 @@
 // watch the global loss fall.
 //
 //   ./quickstart [--rounds 50] [--mu 1.0] [--stragglers 0.5]
+//                [--trace-out trace.jsonl]
 
 #include <iostream>
+#include <memory>
 
 #include "core/registry.h"
 #include "core/trainer.h"
+#include "obs/observer.h"
+#include "obs/trace_sink.h"
 #include "support/cli.h"
 #include "support/csv.h"
+
+namespace {
+
+// Observers receive every round's metrics on the round thread; this one
+// prints the evaluated ones (the old RoundCallback, as an observer).
+struct ProgressPrinter : fed::TrainingObserver {
+  void on_round_end(const fed::RoundMetrics& m,
+                    const fed::RoundTrace&) override {
+    if (!m.evaluated()) return;
+    std::cout << "round " << m.round << ": loss "
+              << fed::TablePrinter::fmt(*m.train_loss) << ", test accuracy "
+              << fed::TablePrinter::fmt(*m.test_accuracy) << "\n";
+  }
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fed;
@@ -33,18 +53,24 @@ int main(int argc, char** argv) {
   config.learning_rate = workload.learning_rate;
   config.eval_every = 5;
 
-  // 3. Train, printing each evaluated round.
+  // 3. Train, printing each evaluated round. With --trace-out a JSONL
+  //    sink additionally records per-phase wall times for every round.
   Trainer trainer(*workload.model, workload.data, config);
-  trainer.set_round_callback([](const RoundMetrics& m) {
-    if (!m.evaluated) return;
-    std::cout << "round " << m.round << ": loss "
-              << TablePrinter::fmt(m.train_loss) << ", test accuracy "
-              << TablePrinter::fmt(m.test_accuracy) << "\n";
-  });
+  ProgressPrinter printer;
+  trainer.add_observer(printer);
+
+  std::unique_ptr<JsonlTraceSink> sink;
+  std::unique_ptr<TraceObserver> tracer;
+  if (auto path = flags.get_optional_string("trace-out")) {
+    sink = std::make_unique<JsonlTraceSink>(*path);
+    tracer = std::make_unique<TraceObserver>(*sink);
+    trainer.add_observer(*tracer);
+    std::cout << "streaming round traces to " << *path << "\n";
+  }
   const TrainHistory history = trainer.run();
 
-  std::cout << "\nfinal loss " << history.final_metrics().train_loss
+  std::cout << "\nfinal loss " << *history.final_metrics().train_loss
             << ", final test accuracy "
-            << history.final_metrics().test_accuracy << "\n";
+            << *history.final_metrics().test_accuracy << "\n";
   return 0;
 }

@@ -47,8 +47,9 @@ int main(int argc, char** argv) {
                  const TrainHistory& h) {
     std::vector<double> losses;
     for (const auto& [_, loss] : h.loss_series()) losses.push_back(loss);
-    table.add_row({name, policy, TablePrinter::fmt(h.final_metrics().train_loss),
-                   TablePrinter::fmt(h.final_metrics().test_accuracy),
+    table.add_row({name, policy,
+                   TablePrinter::fmt(*h.final_metrics().train_loss),
+                   TablePrinter::fmt(*h.final_metrics().test_accuracy),
                    sparkline(losses)});
   };
   row("FedAvg", "drop stragglers", fedavg);

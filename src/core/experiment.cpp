@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/observer.h"
 #include "support/log.h"
 #include "support/stopwatch.h"
 
@@ -25,24 +26,55 @@ TrainerConfig base_config(const Workload& workload, Algorithm algorithm,
   return c;
 }
 
+namespace {
+
+// The per-variant summary line, expressed as an observer so run_variants
+// reports progress through the same channel as every other consumer.
+class VariantLogObserver final : public TrainingObserver {
+ public:
+  VariantLogObserver(std::string workload, std::string label)
+      : workload_(std::move(workload)), label_(std::move(label)) {}
+
+  void on_run_end(const TrainHistory& history) override {
+    const auto& fin = history.final_metrics();
+    log_info() << workload_ << " | " << label_ << " | loss "
+               << fin.train_loss.value_or(0.0) << " | test acc "
+               << fin.test_accuracy.value_or(0.0) << " | " << timer_.seconds()
+               << "s";
+  }
+
+ private:
+  std::string workload_;
+  std::string label_;
+  Stopwatch timer_;
+};
+
+}  // namespace
+
 std::vector<VariantResult> run_variants(const Workload& workload,
                                         const std::vector<VariantSpec>& specs,
-                                        bool verbose) {
+                                        const RunVariantsOptions& options) {
   std::vector<VariantResult> results;
   results.reserve(specs.size());
   for (const auto& spec : specs) {
-    Stopwatch timer;
     Trainer trainer(*workload.model, workload.data, spec.config);
-    VariantResult r{spec.label, trainer.run()};
-    if (verbose) {
-      const auto& fin = r.history.final_metrics();
-      log_info() << workload.name << " | " << spec.label << " | loss "
-                 << fin.train_loss << " | test acc " << fin.test_accuracy
-                 << " | " << timer.seconds() << "s";
+    std::optional<VariantLogObserver> logger;
+    if (options.verbose) {
+      logger.emplace(workload.name, spec.label);
+      trainer.add_observer(*logger);
     }
-    results.push_back(std::move(r));
+    if (options.observer) trainer.add_observer(*options.observer);
+    results.push_back(VariantResult{spec.label, trainer.run()});
   }
   return results;
+}
+
+std::vector<VariantResult> run_variants(const Workload& workload,
+                                        const std::vector<VariantSpec>& specs,
+                                        bool verbose) {
+  RunVariantsOptions options;
+  options.verbose = verbose;
+  return run_variants(workload, specs, options);
 }
 
 std::vector<std::string> history_csv_header() {
@@ -52,22 +84,28 @@ std::vector<std::string> history_csv_header() {
           "contributors", "stragglers"};
 }
 
+namespace {
+
+std::string opt_cell(const std::optional<double>& v) {
+  if (!v) return {};
+  std::ostringstream out;
+  out << *v;
+  return out.str();
+}
+
+}  // namespace
+
 void append_history_csv(CsvWriter& csv, const std::string& dataset,
                         const std::vector<VariantResult>& results) {
   for (const auto& r : results) {
     for (const auto& m : r.history.rounds) {
-      if (!m.evaluated) continue;
-      std::ostringstream variance, dis_b;
-      if (m.dissimilarity_measured) {
-        variance << m.grad_variance;
-        dis_b << m.dissimilarity_b;
-      }
+      if (!m.evaluated()) continue;
       csv.write_row({dataset, r.label, std::to_string(m.round),
-                     std::to_string(m.train_loss),
-                     std::to_string(m.train_accuracy),
-                     std::to_string(m.test_accuracy), variance.str(),
-                     dis_b.str(), std::to_string(m.mu),
-                     std::to_string(m.contributors),
+                     std::to_string(*m.train_loss),
+                     std::to_string(*m.train_accuracy),
+                     std::to_string(*m.test_accuracy),
+                     opt_cell(m.grad_variance), opt_cell(m.dissimilarity_b),
+                     std::to_string(m.mu), std::to_string(m.contributors),
                      std::to_string(m.stragglers)});
     }
   }
@@ -76,24 +114,24 @@ void append_history_csv(CsvWriter& csv, const std::string& dataset,
 double settled_accuracy(const TrainHistory& history) {
   std::vector<const RoundMetrics*> evaluated;
   for (const auto& m : history.rounds) {
-    if (m.evaluated) evaluated.push_back(&m);
+    if (m.evaluated()) evaluated.push_back(&m);
   }
   if (evaluated.empty()) {
     throw std::logic_error("settled_accuracy: no evaluated rounds");
   }
   for (std::size_t i = 1; i < evaluated.size(); ++i) {
-    const double f_t = evaluated[i]->train_loss;
-    const double f_prev = evaluated[i - 1]->train_loss;
+    const double f_t = *evaluated[i]->train_loss;
+    const double f_prev = *evaluated[i - 1]->train_loss;
     if (!std::isfinite(f_t)) {
       // Diverged to NaN/inf: read accuracy just before the blow-up.
-      return evaluated[i - 1]->test_accuracy;
+      return *evaluated[i - 1]->test_accuracy;
     }
-    if (std::abs(f_t - f_prev) < 1e-4) return evaluated[i]->test_accuracy;
-    if (i >= 10 && f_t - evaluated[i - 10]->train_loss > 1.0) {
-      return evaluated[i]->test_accuracy;
+    if (std::abs(f_t - f_prev) < 1e-4) return *evaluated[i]->test_accuracy;
+    if (i >= 10 && f_t - *evaluated[i - 10]->train_loss > 1.0) {
+      return *evaluated[i]->test_accuracy;
     }
   }
-  return evaluated.back()->test_accuracy;
+  return *evaluated.back()->test_accuracy;
 }
 
 std::string trajectory_string(const TrainHistory& history,

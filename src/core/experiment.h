@@ -25,8 +25,21 @@ struct VariantResult {
   TrainHistory history;
 };
 
+struct RunVariantsOptions {
+  // Log a one-line summary per variant (via an internal observer).
+  bool verbose = true;
+  // Extra observer attached to every variant's Trainer (e.g. a
+  // TraceObserver feeding a JSONL sink). May be nullptr.
+  TrainingObserver* observer = nullptr;
+};
+
 // Runs each variant on the workload, sequentially (each run parallelizes
-// internally over devices). When `verbose`, logs a line per variant.
+// internally over devices). Progress reporting goes through the Trainer's
+// observer API: the verbose summary line is itself an observer, and
+// `options.observer` stacks alongside it.
+std::vector<VariantResult> run_variants(const Workload& workload,
+                                        const std::vector<VariantSpec>& specs,
+                                        const RunVariantsOptions& options);
 std::vector<VariantResult> run_variants(const Workload& workload,
                                         const std::vector<VariantSpec>& specs,
                                         bool verbose = true);

@@ -4,11 +4,13 @@
 #include <stdexcept>
 
 #include "core/feddane.h"
+#include "obs/observer.h"
 #include "optim/sgd.h"
 #include "sim/aggregate.h"
 #include "sim/client.h"
 #include "sim/server.h"
 #include "support/log.h"
+#include "support/stopwatch.h"
 #include "tensor/ops.h"
 
 namespace fed {
@@ -45,7 +47,7 @@ TrainerConfig feddane_config(double mu) {
 
 const RoundMetrics& TrainHistory::final_metrics() const {
   for (auto it = rounds.rbegin(); it != rounds.rend(); ++it) {
-    if (it->evaluated) return *it;
+    if (it->evaluated()) return *it;
   }
   throw std::logic_error("TrainHistory: no evaluated round");
 }
@@ -53,7 +55,7 @@ const RoundMetrics& TrainHistory::final_metrics() const {
 std::vector<std::pair<std::size_t, double>> TrainHistory::loss_series() const {
   std::vector<std::pair<std::size_t, double>> out;
   for (const auto& r : rounds) {
-    if (r.evaluated) out.emplace_back(r.round, r.train_loss);
+    if (r.evaluated()) out.emplace_back(r.round, *r.train_loss);
   }
   return out;
 }
@@ -62,15 +64,15 @@ std::vector<std::pair<std::size_t, double>> TrainHistory::accuracy_series()
     const {
   std::vector<std::pair<std::size_t, double>> out;
   for (const auto& r : rounds) {
-    if (r.evaluated) out.emplace_back(r.round, r.test_accuracy);
+    if (r.evaluated()) out.emplace_back(r.round, *r.test_accuracy);
   }
   return out;
 }
 
 bool TrainHistory::diverged(double threshold) const {
   for (const auto& r : rounds) {
-    if (r.evaluated &&
-        (!std::isfinite(r.train_loss) || r.train_loss > threshold)) {
+    if (r.evaluated() &&
+        (!std::isfinite(*r.train_loss) || *r.train_loss > threshold)) {
       return true;
     }
   }
@@ -97,6 +99,23 @@ Trainer::Trainer(const Model& model, const FederatedDataset& data,
   if (!config_.solver) config_.solver = std::make_shared<SgdSolver>();
 }
 
+Trainer::~Trainer() = default;
+
+void Trainer::add_observer(TrainingObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+void Trainer::set_round_callback(RoundCallback cb) {
+  if (callback_adapter_) {
+    std::erase(observers_, callback_adapter_.get());
+    callback_adapter_.reset();
+  }
+  if (cb) {
+    callback_adapter_ = std::make_unique<CallbackObserver>(std::move(cb));
+    observers_.push_back(callback_adapter_.get());
+  }
+}
+
 TrainHistory Trainer::run() {
   std::unique_ptr<ThreadPool> owned_pool;
   ThreadPool* pool = external_pool_;
@@ -107,6 +126,9 @@ TrainHistory Trainer::run() {
 
   const std::size_t d = model_.parameter_count();
   const auto pk = data_.client_weights();
+  // The paper's communication proxy: one parameter vector per transfer.
+  const std::uint64_t param_bytes =
+      static_cast<std::uint64_t>(d) * sizeof(double);
 
   Vector w(d);
   if (config_.initial_parameters) {
@@ -136,10 +158,24 @@ TrainHistory Trainer::run() {
   TrainHistory history;
   history.rounds.reserve(config_.rounds + 1);
 
-  // Round 0 metrics: the initial model (the paper's plots start at w^0).
-  auto evaluate_round = [&](std::size_t round, RoundMetrics& m) {
+  if (!observers_.empty()) {
+    RunInfo info;
+    info.algorithm = to_string(config_.algorithm);
+    info.rounds = config_.rounds;
+    info.first_round = config_.first_round;
+    info.devices_per_round = config_.devices_per_round;
+    info.num_clients = data_.num_clients();
+    info.parameter_count = d;
+    info.threads = pool->size();
+    info.seed = config_.seed;
+    for (auto* o : observers_) o->on_run_start(info);
+  }
+
+  // Evaluation phase: global eval plus (when configured) dissimilarity;
+  // both are charged to the trace's eval_seconds.
+  auto evaluate_round = [&](RoundMetrics& m, RoundTrace& trace) {
+    Stopwatch timer;
     const GlobalEval eval = evaluate_global(model_, data_, w, pool);
-    m.evaluated = true;
     m.train_loss = eval.train_loss;
     m.train_accuracy = eval.train_accuracy;
     m.test_accuracy = eval.test_accuracy;
@@ -147,26 +183,34 @@ TrainHistory Trainer::run() {
       const auto dis = measure_dissimilarity(model_, data_, w, pool);
       m.grad_variance = dis.variance;
       m.dissimilarity_b = dis.b;
-      m.dissimilarity_measured = true;
     }
-    (void)round;
+    trace.eval_seconds = timer.seconds();
+    trace.evaluated = true;
   };
 
+  // Round 0 metrics: the initial model (the paper's plots start at w^0).
   {
+    Stopwatch round_timer;
     RoundMetrics m;
     m.round = config_.first_round;
     m.mu = mu;
-    evaluate_round(config_.first_round, m);
+    RoundTrace trace;
+    trace.round = config_.first_round;
+    evaluate_round(m, trace);
+    trace.round_seconds = round_timer.seconds();
     history.rounds.push_back(m);
-    if (callback_) callback_(history.rounds.back());
-    if (adaptive) mu = adaptive->update(m.train_loss);
-    if (theory && m.dissimilarity_measured) {
-      mu = theory->update(m.dissimilarity_b);
-    }
+    for (auto* o : observers_) o->on_round_end(history.rounds.back(), trace);
+    if (adaptive) mu = adaptive->update(*m.train_loss);
+    if (theory && m.dissimilarity_b) mu = theory->update(*m.dissimilarity_b);
   }
 
   for (std::size_t step = 0; step < config_.rounds; ++step) {
     const std::size_t t = config_.first_round + step;
+    Stopwatch round_timer;
+    Stopwatch phase_timer;
+    RoundTrace trace;
+    trace.round = t + 1;
+
     // 1. Select devices (deterministic in (seed, round); identical across
     //    algorithms under the same seed).
     const auto selected = select_devices(config_.sampling, pk,
@@ -181,20 +225,28 @@ TrainHistory Trainer::run() {
     const auto budgets =
         assign_budgets(config_.systems, config_.seed, t, selected, train_sizes,
                        config_.batch_size);
+    trace.sampling_seconds = phase_timer.seconds();
+
+    for (auto* o : observers_) o->on_round_start(t + 1, selected);
 
     // 3. FedDane: estimate the full gradient from the sampled devices.
     std::vector<Vector> corrections;
     if (config_.algorithm == Algorithm::kFedDane) {
+      phase_timer.reset();
       corrections = feddane_corrections(model_, data_, selected, w, pool);
+      trace.correction_seconds = phase_timer.seconds();
     }
 
-    // 4. Local solves, in parallel across devices.
+    // 4. Local solves, in parallel across devices. Each worker times its
+    //    own solve (ClientResult::solve_seconds); the round thread only
+    //    reads them after the barrier, so determinism is untouched.
     ClientRoundConfig client_config{.mu = mu,
                                     .batch_size = config_.batch_size,
                                     .learning_rate = config_.learning_rate,
                                     .clip_norm = config_.clip_norm,
                                     .measure_gamma = config_.measure_gamma};
     std::vector<ClientResult> results(selected.size());
+    phase_timer.reset();
     pool->parallel_for(selected.size(), [&](std::size_t i) {
       Rng minibatch_rng =
           make_stream(config_.seed, StreamKind::kMinibatch, t, selected[i] + 1);
@@ -204,8 +256,14 @@ TrainHistory Trainer::run() {
                               *config_.solver, budgets[i], client_config,
                               correction, minibatch_rng);
     });
+    trace.solve_wall_seconds = phase_timer.seconds();
+
+    for (auto* o : observers_) {
+      for (const auto& r : results) o->on_client_result(t + 1, r);
+    }
 
     // 5. Aggregate. FedAvg drops stragglers; FedProx/FedDane keep them.
+    phase_timer.reset();
     std::vector<Contribution> contributions;
     std::size_t straggler_total = 0;
     for (const auto& r : results) {
@@ -215,9 +273,22 @@ TrainHistory Trainer::run() {
           {r.device, &r.update, static_cast<double>(r.num_samples)});
     }
     const bool updated = aggregate(config_.sampling, contributions, w);
+    trace.aggregate_seconds = phase_timer.seconds();
     if (!updated) {
       log_debug() << "round " << t
                   << ": every selected device was dropped; keeping w";
+    }
+
+    trace.selected = selected.size();
+    trace.contributors = contributions.size();
+    trace.stragglers = straggler_total;
+    trace.bytes_down = param_bytes * selected.size();
+    trace.bytes_up = param_bytes * contributions.size();
+    {
+      std::vector<double> solve_times;
+      solve_times.reserve(results.size());
+      for (const auto& r : results) solve_times.push_back(r.solve_seconds);
+      trace.solve = SolveStats::from_samples(solve_times);
     }
 
     // 6. Record metrics.
@@ -237,22 +308,23 @@ TrainHistory Trainer::run() {
       }
       if (count > 0) {
         m.mean_gamma = total / static_cast<double>(count);
-        m.gamma_measured = true;
       }
     }
     const bool do_eval =
         ((t + 1) % config_.eval_every == 0) || (step + 1 == config_.rounds);
-    if (do_eval) evaluate_round(t + 1, m);
+    if (do_eval) evaluate_round(m, trace);
+    trace.round_seconds = round_timer.seconds();
     history.rounds.push_back(m);
-    if (callback_) callback_(history.rounds.back());
+    for (auto* o : observers_) o->on_round_end(history.rounds.back(), trace);
 
-    if (adaptive && m.evaluated) mu = adaptive->update(m.train_loss);
-    if (theory && m.evaluated && m.dissimilarity_measured) {
-      mu = theory->update(m.dissimilarity_b);
+    if (adaptive && m.evaluated()) mu = adaptive->update(*m.train_loss);
+    if (theory && m.evaluated() && m.dissimilarity_b) {
+      mu = theory->update(*m.dissimilarity_b);
     }
   }
 
   history.final_parameters = std::move(w);
+  for (auto* o : observers_) o->on_run_end(history);
   return history;
 }
 

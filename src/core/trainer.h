@@ -13,6 +13,11 @@
 // and adds the proximal term. All randomness (device selection,
 // stragglers, mini-batches) is keyed by (seed, round, device) so compared
 // configurations face identical conditions.
+//
+// Observability: attach TrainingObserver instances (obs/observer.h) with
+// add_observer to receive run/round/client hooks plus a RoundTrace of
+// per-phase wall times. Observers run on the round thread only and never
+// affect results — TrainHistory is bit-identical with and without them.
 
 #pragma once
 
@@ -30,6 +35,8 @@
 #include "support/threadpool.h"
 
 namespace fed {
+
+class TrainingObserver;  // obs/observer.h
 
 enum class Algorithm {
   kFedAvg,   // drop stragglers; canonical config also sets mu = 0
@@ -95,20 +102,23 @@ TrainerConfig fedavg_config();
 TrainerConfig fedprox_config(double mu);
 TrainerConfig feddane_config(double mu);
 
+// Per-round record. Optional fields are engaged only when the quantity
+// was actually measured that round: the three evaluation metrics are set
+// together when the round was evaluated, the dissimilarity pair when
+// measure_dissimilarity ran, mean_gamma when gamma was measured.
 struct RoundMetrics {
   std::size_t round = 0;
-  bool evaluated = false;       // the fields below are valid
-  double train_loss = 0.0;
-  double train_accuracy = 0.0;
-  double test_accuracy = 0.0;
-  double grad_variance = 0.0;   // valid iff dissimilarity measured
-  double dissimilarity_b = 0.0;
-  bool dissimilarity_measured = false;
+  std::optional<double> train_loss;
+  std::optional<double> train_accuracy;
+  std::optional<double> test_accuracy;
+  std::optional<double> grad_variance;
+  std::optional<double> dissimilarity_b;
   double mu = 0.0;              // mu in effect this round
-  double mean_gamma = 0.0;      // valid iff gamma measured
-  bool gamma_measured = false;
+  std::optional<double> mean_gamma;
   std::size_t contributors = 0; // devices aggregated this round
   std::size_t stragglers = 0;   // stragglers among selected
+
+  bool evaluated() const { return train_loss.has_value(); }
 };
 
 struct TrainHistory {
@@ -131,20 +141,27 @@ class Trainer {
   // can be shared across trainers; otherwise one is created per run.
   Trainer(const Model& model, const FederatedDataset& data,
           TrainerConfig config, ThreadPool* pool = nullptr);
+  ~Trainer();  // out of line: callback_adapter_ is incomplete here
 
   TrainHistory run();
 
-  // Optional per-round observer (called after each round's metrics are
-  // recorded), e.g. for live printing.
+  // Registers an observer for run/round/client telemetry (obs/observer.h).
+  // Observers are invoked from the round thread only, in registration
+  // order, and must outlive run(). They cannot affect training results.
+  void add_observer(TrainingObserver& observer);
+
+  // Deprecated adapter, kept for one release: wraps `cb` in a
+  // CallbackObserver invoked at on_round_end. Prefer add_observer.
   using RoundCallback = std::function<void(const RoundMetrics&)>;
-  void set_round_callback(RoundCallback cb) { callback_ = std::move(cb); }
+  void set_round_callback(RoundCallback cb);
 
  private:
   const Model& model_;
   const FederatedDataset& data_;
   TrainerConfig config_;
   ThreadPool* external_pool_;
-  RoundCallback callback_;
+  std::vector<TrainingObserver*> observers_;
+  std::unique_ptr<TrainingObserver> callback_adapter_;  // owns the shim
 };
 
 }  // namespace fed

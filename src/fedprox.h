@@ -31,6 +31,10 @@
 #include "nn/lstm.h"
 #include "nn/mlp.h"
 #include "nn/module.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
+#include "obs/trace_sink.h"
 #include "optim/adam.h"
 #include "optim/gd.h"
 #include "optim/inexactness.h"

@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/csv.h"
+
+namespace fed {
+
+namespace {
+
+// CAS add/min/max for atomic<double> (fetch_add on floating atomics is
+// C++20 but not universally lowered to something lock-free; the CAS loop
+// is portable and contention here is a handful of threads).
+void atomic_add(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(double scale, std::size_t num_buckets)
+    : scale_(scale > 0.0 ? scale : 1e-6),
+      num_buckets_(num_buckets ? num_buckets : 1),
+      buckets_(new std::atomic<std::uint64_t>[num_buckets_]) {
+  reset();
+}
+
+void Histogram::observe(double v) {
+  std::size_t idx = 0;
+  if (v > scale_) {
+    const int exp = std::ilogb(v / scale_);
+    idx = std::min<std::size_t>(static_cast<std::size_t>(std::max(exp, 0)),
+                                num_buckets_ - 1);
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (prev == 0) {
+    // First observation seeds min/max; racing observers converge via the
+    // CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  s.max = s.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  s.buckets.resize(num_buckets_);
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double scale,
+                                      std::size_t num_buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(scale, num_buckets);
+  return *slot;
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject counters;
+  for (const auto& [name, c] : counters_) counters[name] = c->value();
+  JsonObject gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  JsonObject histograms;
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->snapshot();
+    JsonObject one;
+    one["count"] = s.count;
+    one["sum"] = s.sum;
+    one["min"] = s.min;
+    one["max"] = s.max;
+    one["mean"] = s.mean();
+    histograms[name] = std::move(one);
+  }
+  JsonObject out;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return JsonValue(std::move(out));
+}
+
+std::string MetricsRegistry::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TablePrinter table({"metric", "kind", "value"});
+  for (const auto& [name, c] : counters_) {
+    table.add_row({name, "counter", std::to_string(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    table.add_row({name, "gauge", TablePrinter::fmt(g->value(), 6)});
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->snapshot();
+    std::ostringstream cell;
+    cell << "count " << s.count << ", mean " << TablePrinter::fmt(s.mean(), 6)
+         << ", min " << TablePrinter::fmt(s.min, 6) << ", max "
+         << TablePrinter::fmt(s.max, 6);
+    table.add_row({name, "histogram", cell.str()});
+  }
+  return table.render();
+}
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry)
+    : rounds_(registry.counter("fed_rounds_total")),
+      clients_(registry.counter("fed_clients_total")),
+      stragglers_(registry.counter("fed_stragglers_total")),
+      bytes_up_(registry.counter("fed_bytes_up_total")),
+      bytes_down_(registry.counter("fed_bytes_down_total")),
+      mu_(registry.gauge("fed_mu")),
+      train_loss_(registry.gauge("fed_train_loss")),
+      round_(registry.gauge("fed_round")),
+      round_seconds_(registry.histogram("fed_round_seconds")),
+      solve_seconds_(registry.histogram("fed_client_solve_seconds")) {}
+
+void MetricsObserver::on_client_result(std::size_t round,
+                                       const ClientResult& result) {
+  (void)round;
+  clients_.add();
+  if (result.straggler) stragglers_.add();
+  solve_seconds_.observe(result.solve_seconds);
+}
+
+void MetricsObserver::on_round_end(const RoundMetrics& metrics,
+                                   const RoundTrace& trace) {
+  rounds_.add();
+  bytes_up_.add(trace.bytes_up);
+  bytes_down_.add(trace.bytes_down);
+  mu_.set(metrics.mu);
+  round_.set(static_cast<double>(metrics.round));
+  if (metrics.train_loss) train_loss_.set(*metrics.train_loss);
+  round_seconds_.observe(trace.round_seconds);
+}
+
+}  // namespace fed

@@ -1,0 +1,137 @@
+// Lock-cheap metrics registry: named counters, gauges, and histograms
+// that can be bumped concurrently from ThreadPool workers. The registry
+// mutex guards only name -> instrument lookup (registration); every hot
+// update is a relaxed atomic on a stable instrument address, so cache a
+// reference once and write freely from any thread:
+//
+//   Counter& solves = registry.counter("fed_client_solves_total");
+//   pool->parallel_for(n, [&](std::size_t i) { ...; solves.add(); });
+//
+// MetricsObserver feeds the registry from the Trainer's observer hooks
+// (rounds, client solves, stragglers, bytes moved, phase durations).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/observer.h"
+#include "support/json.h"
+
+namespace fed {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Exponentially-bucketed distribution: bucket i covers
+// [scale * 2^i, scale * 2^(i+1)); under/overflows clamp to the edge
+// buckets. Sum/min/max are maintained with CAS loops so observe() stays
+// lock-free on every platform.
+class Histogram {
+ public:
+  explicit Histogram(double scale = 1e-6, std::size_t num_buckets = 32);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+    std::vector<std::uint64_t> buckets;
+
+    double mean() const {
+      return count ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+  double scale() const { return scale_; }
+  std::size_t num_buckets() const { return num_buckets_; }
+
+ private:
+  double scale_;
+  std::size_t num_buckets_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  // Find-or-create by name. Returned references are stable for the
+  // registry's lifetime; only this lookup takes the mutex.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double scale = 1e-6,
+                       std::size_t num_buckets = 32);
+
+  // Snapshot of every instrument: {"counters":{...},"gauges":{...},
+  // "histograms":{name:{count,sum,min,max,mean}}}. Bucket arrays are
+  // omitted to keep the dump compact.
+  JsonValue to_json() const;
+  // Aligned one-line-per-instrument table for stdout.
+  std::string render() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Feeds a MetricsRegistry from the observer hooks. Instrument names:
+//   counters   fed_rounds_total, fed_clients_total, fed_stragglers_total,
+//              fed_bytes_up_total, fed_bytes_down_total
+//   gauges     fed_mu, fed_train_loss (last evaluated), fed_round
+//   histograms fed_round_seconds, fed_client_solve_seconds
+class MetricsObserver final : public TrainingObserver {
+ public:
+  explicit MetricsObserver(MetricsRegistry& registry);
+
+  void on_client_result(std::size_t round, const ClientResult& result) override;
+  void on_round_end(const RoundMetrics& metrics,
+                    const RoundTrace& trace) override;
+
+ private:
+  Counter& rounds_;
+  Counter& clients_;
+  Counter& stragglers_;
+  Counter& bytes_up_;
+  Counter& bytes_down_;
+  Gauge& mu_;
+  Gauge& train_loss_;
+  Gauge& round_;
+  Histogram& round_seconds_;
+  Histogram& solve_seconds_;
+};
+
+}  // namespace fed

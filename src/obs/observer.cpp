@@ -1,0 +1,32 @@
+#include "obs/observer.h"
+
+namespace fed {
+
+void CompositeObserver::add(TrainingObserver& observer) {
+  children_.push_back(&observer);
+}
+
+void CompositeObserver::on_run_start(const RunInfo& info) {
+  for (auto* child : children_) child->on_run_start(info);
+}
+
+void CompositeObserver::on_round_start(std::size_t round,
+                                       std::span<const std::size_t> selected) {
+  for (auto* child : children_) child->on_round_start(round, selected);
+}
+
+void CompositeObserver::on_client_result(std::size_t round,
+                                         const ClientResult& result) {
+  for (auto* child : children_) child->on_client_result(round, result);
+}
+
+void CompositeObserver::on_round_end(const RoundMetrics& metrics,
+                                     const RoundTrace& trace) {
+  for (auto* child : children_) child->on_round_end(metrics, trace);
+}
+
+void CompositeObserver::on_run_end(const TrainHistory& history) {
+  for (auto* child : children_) child->on_run_end(history);
+}
+
+}  // namespace fed

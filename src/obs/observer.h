@@ -1,0 +1,132 @@
+// Structured training observation: the Trainer's public telemetry API.
+//
+// A TrainingObserver replaces the old single RoundCallback with typed
+// hooks for every stage of a run. The Trainer invokes observers from the
+// round thread only — never from ThreadPool workers — in registration
+// order, so attaching observers cannot perturb the (seed, round, device)
+// determinism contract. Observers must not mutate training state.
+//
+//   struct Printer : TrainingObserver {
+//     void on_round_end(const RoundMetrics& m, const RoundTrace&) override {
+//       if (m.evaluated()) std::cout << m.round << ": " << *m.train_loss;
+//     }
+//   };
+//   Printer printer;
+//   trainer.add_observer(printer);
+//
+// CompositeObserver stacks metrics, tracing, live printing, and
+// checkpointing hooks behind a single registration; CallbackObserver
+// adapts the legacy std::function<void(const RoundMetrics&)> shape.
+
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "core/trainer.h"
+#include "obs/trace.h"
+#include "sim/client.h"
+
+namespace fed {
+
+// Immutable run-level facts, delivered once at on_run_start.
+struct RunInfo {
+  std::string algorithm;           // "FedAvg" / "FedProx" / "FedDane"
+  std::size_t rounds = 0;          // T (training rounds this run)
+  std::size_t first_round = 0;     // warm-start offset
+  std::size_t devices_per_round = 0;
+  std::size_t num_clients = 0;
+  std::size_t parameter_count = 0;
+  std::size_t threads = 0;         // pool size actually used
+  std::uint64_t seed = 0;
+};
+
+class TrainingObserver {
+ public:
+  virtual ~TrainingObserver() = default;
+
+  // Once, before the round-0 evaluation.
+  virtual void on_run_start(const RunInfo& info) { (void)info; }
+
+  // Before each *training* round's local solves (not for the round-0
+  // evaluation record). `selected` lists the sampled device ids.
+  virtual void on_round_start(std::size_t round,
+                              std::span<const std::size_t> selected) {
+    (void)round;
+    (void)selected;
+  }
+
+  // Once per selected device per training round, after the parallel
+  // solves complete, in selection order (deterministic).
+  virtual void on_client_result(std::size_t round, const ClientResult& result) {
+    (void)round;
+    (void)result;
+  }
+
+  // After each round's metrics are recorded — including the round-0
+  // evaluation record, matching the old RoundCallback cadence.
+  virtual void on_round_end(const RoundMetrics& metrics,
+                            const RoundTrace& trace) {
+    (void)metrics;
+    (void)trace;
+  }
+
+  // Once, after the final round, before Trainer::run returns.
+  virtual void on_run_end(const TrainHistory& history) { (void)history; }
+};
+
+// Fans every hook out to its children in registration order. Children
+// must outlive the composite.
+class CompositeObserver final : public TrainingObserver {
+ public:
+  void add(TrainingObserver& observer);
+  std::size_t size() const { return children_.size(); }
+
+  void on_run_start(const RunInfo& info) override;
+  void on_round_start(std::size_t round,
+                      std::span<const std::size_t> selected) override;
+  void on_client_result(std::size_t round, const ClientResult& result) override;
+  void on_round_end(const RoundMetrics& metrics,
+                    const RoundTrace& trace) override;
+  void on_run_end(const TrainHistory& history) override;
+
+ private:
+  std::vector<TrainingObserver*> children_;
+};
+
+// Adapter for the legacy per-round callback shape; kept for one release
+// so downstream code migrates at its own pace.
+class CallbackObserver final : public TrainingObserver {
+ public:
+  using Callback = std::function<void(const RoundMetrics&)>;
+  explicit CallbackObserver(Callback callback)
+      : callback_(std::move(callback)) {}
+
+  void on_round_end(const RoundMetrics& metrics,
+                    const RoundTrace& trace) override {
+    (void)trace;
+    if (callback_) callback_(metrics);
+  }
+
+ private:
+  Callback callback_;
+};
+
+// Collects every trace of a run; handy for tests and benchmarks.
+class TraceCollector final : public TrainingObserver {
+ public:
+  void on_round_end(const RoundMetrics& metrics,
+                    const RoundTrace& trace) override {
+    (void)metrics;
+    traces_.push_back(trace);
+  }
+
+  const std::vector<RoundTrace>& traces() const { return traces_; }
+  void clear() { traces_.clear(); }
+
+ private:
+  std::vector<RoundTrace> traces_;
+};
+
+}  // namespace fed

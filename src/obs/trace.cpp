@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace fed {
+
+SolveStats SolveStats::from_samples(std::span<const double> seconds) {
+  SolveStats s;
+  s.count = seconds.size();
+  if (seconds.empty()) return s;
+  s.min_seconds = seconds.front();
+  s.max_seconds = seconds.front();
+  for (double v : seconds) {
+    s.total_seconds += v;
+    s.min_seconds = std::min(s.min_seconds, v);
+    s.max_seconds = std::max(s.max_seconds, v);
+  }
+  s.mean_seconds = s.total_seconds / static_cast<double>(s.count);
+  return s;
+}
+
+JsonValue trace_to_json(const RoundTrace& trace) {
+  JsonObject solve;
+  solve["count"] = trace.solve.count;
+  solve["total_s"] = trace.solve.total_seconds;
+  solve["min_s"] = trace.solve.min_seconds;
+  solve["mean_s"] = trace.solve.mean_seconds;
+  solve["max_s"] = trace.solve.max_seconds;
+
+  JsonObject phases;
+  phases["sampling_s"] = trace.sampling_seconds;
+  phases["correction_s"] = trace.correction_seconds;
+  phases["solve"] = std::move(solve);
+  phases["solve_wall_s"] = trace.solve_wall_seconds;
+  phases["aggregate_s"] = trace.aggregate_seconds;
+  phases["eval_s"] = trace.eval_seconds;
+
+  JsonObject out;
+  out["round"] = trace.round;
+  out["evaluated"] = trace.evaluated;
+  out["selected"] = trace.selected;
+  out["contributors"] = trace.contributors;
+  out["stragglers"] = trace.stragglers;
+  out["phases"] = std::move(phases);
+  out["round_s"] = trace.round_seconds;
+  out["bytes_down"] = trace.bytes_down;
+  out["bytes_up"] = trace.bytes_up;
+  return JsonValue(std::move(out));
+}
+
+void TraceSummary::accumulate(const RoundTrace& trace) {
+  ++rounds;
+  total_seconds += trace.round_seconds;
+  sampling_seconds += trace.sampling_seconds;
+  correction_seconds += trace.correction_seconds;
+  solve_wall_seconds += trace.solve_wall_seconds;
+  aggregate_seconds += trace.aggregate_seconds;
+  eval_seconds += trace.eval_seconds;
+  bytes_down += trace.bytes_down;
+  bytes_up += trace.bytes_up;
+}
+
+TraceSummary summarize(std::span<const RoundTrace> traces) {
+  TraceSummary summary;
+  for (const auto& t : traces) summary.accumulate(t);
+  return summary;
+}
+
+}  // namespace fed

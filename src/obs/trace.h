@@ -1,0 +1,76 @@
+// Per-round phase timing: where a federated round's wall-clock time goes.
+//
+// The paper's systems-heterogeneity claims (Figs. 1, 5, 9) are about how
+// rounds spend their time — stragglers, partial local work, per-device
+// solve cost. A RoundTrace records the breakdown the Trainer measures for
+// every round: device sampling, the per-client local solves (min/mean/max
+// across contributors), aggregation, and global evaluation, plus the
+// paper's communication proxy (parameter-vector bytes x participants).
+// Traces are produced on the round thread only; wall times vary run to
+// run but every structural field (counts, bytes) is deterministic in
+// (seed, round).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/json.h"
+
+namespace fed {
+
+// Distribution of per-client local-solve wall times within one round.
+struct SolveStats {
+  std::size_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  static SolveStats from_samples(std::span<const double> seconds);
+};
+
+struct RoundTrace {
+  std::size_t round = 0;
+  bool evaluated = false;        // eval_seconds covers a real evaluation
+  std::size_t selected = 0;      // devices selected this round
+  std::size_t contributors = 0;  // devices aggregated
+  std::size_t stragglers = 0;    // stragglers among selected
+
+  // Phase wall times, in seconds, measured on the round thread.
+  double sampling_seconds = 0.0;    // device selection + budget assignment
+  double correction_seconds = 0.0;  // FedDane gradient estimate (else 0)
+  SolveStats solve;                 // per-client solve times (worker-local)
+  double solve_wall_seconds = 0.0;  // the parallel_for, as the round saw it
+  double aggregate_seconds = 0.0;   // contribution filtering + weighted sum
+  double eval_seconds = 0.0;        // global eval (+ dissimilarity); 0 if skipped
+  double round_seconds = 0.0;       // whole round, sampling through eval
+
+  // Communication proxy (Section 5.1 reports rounds; bytes let us convert
+  // to traffic): parameter-vector size x participants x sizeof(double).
+  std::uint64_t bytes_down = 0;  // server -> every selected device
+  std::uint64_t bytes_up = 0;    // every contributor -> server
+};
+
+// Compact JSON object for one trace (the JSONL sink writes one per line).
+JsonValue trace_to_json(const RoundTrace& trace);
+
+// Whole-run aggregate of traces, for stdout summaries and benchmarks.
+struct TraceSummary {
+  std::size_t rounds = 0;
+  double total_seconds = 0.0;
+  double sampling_seconds = 0.0;
+  double correction_seconds = 0.0;
+  double solve_wall_seconds = 0.0;
+  double aggregate_seconds = 0.0;
+  double eval_seconds = 0.0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+
+  void accumulate(const RoundTrace& trace);
+};
+
+TraceSummary summarize(std::span<const RoundTrace> traces);
+
+}  // namespace fed

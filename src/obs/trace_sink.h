@@ -1,0 +1,90 @@
+// Trace sinks: where per-round traces go. JsonlTraceSink streams one
+// compact JSON object per round (plus one run-header line per run) so a
+// 20-round run yields 20 replayable trace lines; StdoutSummarySink
+// accumulates and prints an aligned per-phase breakdown when the run
+// ends. TraceObserver bridges the Trainer's observer hooks to a sink:
+//
+//   JsonlTraceSink sink("bench_out/trace.jsonl");
+//   TraceObserver tracer(sink);
+//   trainer.add_observer(tracer);
+
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+
+#include "obs/observer.h"
+#include "obs/trace.h"
+
+namespace fed {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void begin_run(const RunInfo& info) { (void)info; }
+  virtual void write(const RoundMetrics& metrics, const RoundTrace& trace) = 0;
+  virtual void end_run(const TrainHistory& history) { (void)history; }
+};
+
+// One JSON object per line (JSONL). Each run starts with a header line
+// {"run":{...}}; every round then gets {"round":...,"phases":{...},
+// "metrics":{...}}. Reuses support/json serialization; numbers
+// round-trip exactly.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  // Creates parent directories and truncates `path`.
+  explicit JsonlTraceSink(const std::string& path);
+  // Streams to an externally-owned ostream (tests, stdout piping).
+  explicit JsonlTraceSink(std::ostream& out);
+
+  void begin_run(const RunInfo& info) override;
+  void write(const RoundMetrics& metrics, const RoundTrace& trace) override;
+  void end_run(const TrainHistory& history) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  std::ostream* out_;
+};
+
+// Accumulates every round's trace and prints a per-phase wall-clock
+// breakdown table when the run ends.
+class StdoutSummarySink final : public TraceSink {
+ public:
+  explicit StdoutSummarySink(std::ostream& out);
+  StdoutSummarySink();
+
+  void begin_run(const RunInfo& info) override;
+  void write(const RoundMetrics& metrics, const RoundTrace& trace) override;
+  void end_run(const TrainHistory& history) override;
+
+ private:
+  std::ostream* out_;
+  RunInfo info_;
+  TraceSummary summary_;
+  SolveStats solve_total_;  // aggregated across rounds
+};
+
+// Forwards observer hooks to a sink. The sink must outlive the observer.
+class TraceObserver final : public TrainingObserver {
+ public:
+  explicit TraceObserver(TraceSink& sink) : sink_(&sink) {}
+
+  void on_run_start(const RunInfo& info) override { sink_->begin_run(info); }
+  void on_round_end(const RoundMetrics& metrics,
+                    const RoundTrace& trace) override {
+    sink_->write(metrics, trace);
+  }
+  void on_run_end(const TrainHistory& history) override {
+    sink_->end_run(history);
+  }
+
+ private:
+  TraceSink* sink_;
+};
+
+}  // namespace fed

@@ -1,6 +1,7 @@
 #include "sim/client.h"
 
 #include "optim/inexactness.h"
+#include "support/stopwatch.h"
 #include "tensor/ops.h"
 
 namespace fed {
@@ -28,7 +29,9 @@ ClientResult run_client(const Model& model, const ClientData& data,
                            .clip_norm = config.clip_norm};
 
   result.update.assign(w_global.begin(), w_global.end());
+  Stopwatch solve_timer;
   solver.solve(problem, solve_budget, minibatch_rng, result.update);
+  result.solve_seconds = solve_timer.seconds();
 
   if (config.measure_gamma && data.train.size() > 0) {
     result.gamma = measure_gamma(problem, result.update);

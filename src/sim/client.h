@@ -29,6 +29,9 @@ struct ClientResult {
   std::size_t iterations = 0;
   double gamma = 0.0;          // valid iff gamma_measured
   bool gamma_measured = false;
+  // Wall time of the local solve, measured on the worker that ran it
+  // (feeds the RoundTrace solve-time distribution; not deterministic).
+  double solve_seconds = 0.0;
 };
 
 // Runs the device's local solve starting from `w_global` with the given

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "support/stopwatch.h"
+
 namespace fed {
 
 namespace {
@@ -34,6 +36,7 @@ PerClientEval evaluate_client(const Model& model, const ClientData& client,
 
 GlobalEval evaluate_global(const Model& model, const FederatedDataset& data,
                            std::span<const double> w, ThreadPool* pool) {
+  Stopwatch timer;
   const std::size_t n_clients = data.num_clients();
   std::vector<PerClientEval> per_client(n_clients);
   if (pool) {
@@ -66,6 +69,7 @@ GlobalEval evaluate_global(const Model& model, const FederatedDataset& data,
     eval.test_accuracy =
         static_cast<double>(test_correct) / static_cast<double>(test_total);
   }
+  eval.seconds = timer.seconds();
   return eval;
 }
 

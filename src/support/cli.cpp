@@ -43,6 +43,11 @@ std::string CliFlags::get_string(const std::string& name,
   return raw(name).value_or(fallback);
 }
 
+std::optional<std::string> CliFlags::get_optional_string(
+    const std::string& name) const {
+  return raw(name);
+}
+
 std::int64_t CliFlags::get_int(const std::string& name,
                                std::int64_t fallback) const {
   auto v = raw(name);

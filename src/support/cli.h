@@ -19,6 +19,9 @@ class CliFlags {
   // std::invalid_argument on a malformed value.
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
+  // Presence-carrying variant for flags with no sensible default, e.g.
+  // --trace-out <path>: nullopt when the flag is absent.
+  std::optional<std::string> get_optional_string(const std::string& name) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;

@@ -75,21 +75,25 @@ const std::vector<std::string> kHistoryHeader = {
 
 void save_history(const std::string& path, const TrainHistory& history) {
   CsvWriter csv(path, kHistoryHeader);
+  // Disengaged optionals serialize as 0 with their presence flag cleared,
+  // keeping the on-disk schema identical to the pre-optional format.
+  const auto fmt = [](const std::optional<double>& v) {
+    std::ostringstream out;
+    out.precision(17);
+    out << v.value_or(0.0);
+    return out.str();
+  };
   for (const auto& m : history.rounds) {
-    std::ostringstream loss, tracc, teacc, var, b, mu, gamma;
-    loss.precision(17); tracc.precision(17); teacc.precision(17);
-    var.precision(17); b.precision(17); mu.precision(17); gamma.precision(17);
-    loss << m.train_loss;
-    tracc << m.train_accuracy;
-    teacc << m.test_accuracy;
-    var << m.grad_variance;
-    b << m.dissimilarity_b;
+    std::ostringstream mu;
+    mu.precision(17);
     mu << m.mu;
-    gamma << m.mean_gamma;
-    csv.write_row({std::to_string(m.round), m.evaluated ? "1" : "0",
-                   loss.str(), tracc.str(), teacc.str(), var.str(), b.str(),
-                   m.dissimilarity_measured ? "1" : "0", mu.str(), gamma.str(),
-                   m.gamma_measured ? "1" : "0", std::to_string(m.contributors),
+    csv.write_row({std::to_string(m.round), m.evaluated() ? "1" : "0",
+                   fmt(m.train_loss), fmt(m.train_accuracy),
+                   fmt(m.test_accuracy), fmt(m.grad_variance),
+                   fmt(m.dissimilarity_b),
+                   m.dissimilarity_b.has_value() ? "1" : "0", mu.str(),
+                   fmt(m.mean_gamma), m.mean_gamma.has_value() ? "1" : "0",
+                   std::to_string(m.contributors),
                    std::to_string(m.stragglers)});
   }
 }
@@ -113,16 +117,17 @@ TrainHistory load_history(const std::string& path) {
     }
     RoundMetrics m;
     m.round = std::stoull(cells[0]);
-    m.evaluated = cells[1] == "1";
-    m.train_loss = std::stod(cells[2]);
-    m.train_accuracy = std::stod(cells[3]);
-    m.test_accuracy = std::stod(cells[4]);
-    m.grad_variance = std::stod(cells[5]);
-    m.dissimilarity_b = std::stod(cells[6]);
-    m.dissimilarity_measured = cells[7] == "1";
+    if (cells[1] == "1") {
+      m.train_loss = std::stod(cells[2]);
+      m.train_accuracy = std::stod(cells[3]);
+      m.test_accuracy = std::stod(cells[4]);
+    }
+    if (cells[7] == "1") {
+      m.grad_variance = std::stod(cells[5]);
+      m.dissimilarity_b = std::stod(cells[6]);
+    }
     m.mu = std::stod(cells[8]);
-    m.mean_gamma = std::stod(cells[9]);
-    m.gamma_measured = cells[10] == "1";
+    if (cells[10] == "1") m.mean_gamma = std::stod(cells[9]);
     m.contributors = std::stoull(cells[11]);
     m.stragglers = std::stoull(cells[12]);
     history.rounds.push_back(m);

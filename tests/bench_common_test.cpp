@@ -51,7 +51,6 @@ TEST_F(BenchCommonTest, RenderSeriesAlignsVariants) {
   for (std::size_t r : {0u, 5u, 10u}) {
     RoundMetrics m;
     m.round = r;
-    m.evaluated = true;
     m.train_loss = 1.0 + r;
     m.test_accuracy = 0.1 * r;
     a.history.rounds.push_back(m);
@@ -72,9 +71,7 @@ TEST_F(BenchCommonTest, RenderSeriesSkipsUnmeasuredVariance) {
   VariantResult a{"x", {}};
   RoundMetrics m;
   m.round = 1;
-  m.evaluated = true;
-  m.grad_variance = 42.0;
-  m.dissimilarity_measured = false;  // never measured: column shows '-'
+  m.train_loss = 0.5;  // evaluated, but variance never measured: '-'
   a.history.rounds.push_back(m);
   const std::string table = render_series({a}, Metric::kGradVariance);
   EXPECT_EQ(table.find("42.0"), std::string::npos);

@@ -75,10 +75,10 @@ TEST_F(EdgeCaseTest, FedAvgAllStragglersFreezesModel) {
   c.systems.straggler_fraction = 1.0;
   c.seed = 21;
   auto h = Trainer(model, data, c).run();
-  const double initial = h.rounds.front().train_loss;
+  const double initial = *h.rounds.front().train_loss;
   for (const auto& m : h.rounds) {
-    if (m.evaluated) {
-      EXPECT_DOUBLE_EQ(m.train_loss, initial);
+    if (m.evaluated()) {
+      EXPECT_DOUBLE_EQ(*m.train_loss, initial);
     }
     if (m.round > 0) {
       EXPECT_EQ(m.contributors, 0u);
@@ -103,7 +103,7 @@ TEST_F(EdgeCaseTest, FedProxAllStragglersStillTrains) {
   c.learning_rate = 0.03;
   c.seed = 21;
   auto h = Trainer(model, data, c).run();
-  EXPECT_LT(h.final_metrics().train_loss, h.rounds.front().train_loss);
+  EXPECT_LT(*h.final_metrics().train_loss, *h.rounds.front().train_loss);
 }
 
 // Mini-batches larger than a device's dataset degrade to full batches.
@@ -122,7 +122,7 @@ TEST_F(EdgeCaseTest, BatchSizeLargerThanClientData) {
   c.seed = 5;
   auto h = Trainer(model, fed, c).run();
   EXPECT_FALSE(h.diverged());
-  EXPECT_LT(h.final_metrics().train_loss, h.rounds.front().train_loss);
+  EXPECT_LT(*h.final_metrics().train_loss, *h.rounds.front().train_loss);
 }
 
 TEST_F(EdgeCaseTest, FinalMetricsThrowsOnEmptyHistory) {
@@ -133,7 +133,6 @@ TEST_F(EdgeCaseTest, FinalMetricsThrowsOnEmptyHistory) {
 TEST_F(EdgeCaseTest, DivergedDetectsNonFiniteLoss) {
   TrainHistory h;
   RoundMetrics m;
-  m.evaluated = true;
   m.train_loss = std::numeric_limits<double>::quiet_NaN();
   h.rounds.push_back(m);
   EXPECT_TRUE(h.diverged());
@@ -145,7 +144,6 @@ TEST_F(EdgeCaseTest, SettledAccuracyDivergenceRule) {
   for (std::size_t i = 0; i < 15; ++i) {
     RoundMetrics m;
     m.round = i;
-    m.evaluated = true;
     m.train_loss = 1.0 + 0.11 * static_cast<double>(i);
     m.test_accuracy = 0.01 * static_cast<double>(i);
     h.rounds.push_back(m);
@@ -159,7 +157,6 @@ TEST_F(EdgeCaseTest, TrajectoryStringHandlesSparseEvaluations) {
   for (std::size_t i = 0; i < 3; ++i) {
     RoundMetrics m;
     m.round = i * 10;
-    m.evaluated = true;
     m.train_loss = 3.0 - static_cast<double>(i);
     h.rounds.push_back(m);
   }

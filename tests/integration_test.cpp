@@ -29,20 +29,20 @@ TEST_F(IntegrationTest, FedProxBeatsFedAvgUnderHighSystemsHeterogeneity) {
     return c;
   };
   const double avg_loss =
-      Trainer(*w.model, w.data, make(Algorithm::kFedAvg, 0.0))
-          .run()
-          .final_metrics()
-          .train_loss;
+      *Trainer(*w.model, w.data, make(Algorithm::kFedAvg, 0.0))
+           .run()
+           .final_metrics()
+           .train_loss;
   const double prox0_loss =
-      Trainer(*w.model, w.data, make(Algorithm::kFedProx, 0.0))
-          .run()
-          .final_metrics()
-          .train_loss;
+      *Trainer(*w.model, w.data, make(Algorithm::kFedProx, 0.0))
+           .run()
+           .final_metrics()
+           .train_loss;
   const double prox1_loss =
-      Trainer(*w.model, w.data, make(Algorithm::kFedProx, 1.0))
-          .run()
-          .final_metrics()
-          .train_loss;
+      *Trainer(*w.model, w.data, make(Algorithm::kFedProx, 1.0))
+           .run()
+           .final_metrics()
+           .train_loss;
   EXPECT_LT(prox0_loss, avg_loss);
   EXPECT_LT(prox1_loss, avg_loss);
 }
@@ -55,8 +55,8 @@ TEST_F(IntegrationTest, FedAvgRobustOnIidData) {
   c.eval_every = 40;
   auto history = Trainer(*w.model, w.data, c).run();
   EXPECT_FALSE(history.diverged());
-  EXPECT_LT(history.final_metrics().train_loss,
-            history.rounds.front().train_loss * 0.7);
+  EXPECT_LT(*history.final_metrics().train_loss,
+            *history.rounds.front().train_loss * 0.7);
 }
 
 // The proximal term shrinks measured dissimilarity (Section 5.3.3).
@@ -71,8 +71,8 @@ TEST_F(IntegrationTest, ProximalTermReducesGradientVariance) {
   };
   const auto h0 = Trainer(*w.model, w.data, make(0.0)).run();
   const auto h1 = Trainer(*w.model, w.data, make(1.0)).run();
-  EXPECT_LT(h1.final_metrics().grad_variance,
-            h0.final_metrics().grad_variance);
+  EXPECT_LT(*h1.final_metrics().grad_variance,
+            *h0.final_metrics().grad_variance);
 }
 
 // Both LSTM workloads run end to end without divergence at tiny scale.
@@ -95,7 +95,6 @@ TEST_F(IntegrationTest, SettledAccuracyRules) {
   auto add = [&](std::size_t round, double loss, double acc) {
     RoundMetrics m;
     m.round = round;
-    m.evaluated = true;
     m.train_loss = loss;
     m.test_accuracy = acc;
     h.rounds.push_back(m);
@@ -112,7 +111,6 @@ TEST_F(IntegrationTest, SettledAccuracyRules) {
   for (std::size_t i = 0; i < 5; ++i) {
     RoundMetrics m;
     m.round = i;
-    m.evaluated = true;
     m.train_loss = 1.0 - 0.1 * static_cast<double>(i);
     m.test_accuracy = 0.1 * static_cast<double>(i);
     h2.rounds.push_back(m);

@@ -1,0 +1,183 @@
+// Metrics registry: instrument semantics, concurrent updates from pool
+// workers, JSON/table snapshots, and the Trainer-fed MetricsObserver.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "support/log.h"
+#include "support/threadpool.h"
+
+namespace fed {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(MetricsTest, HistogramTracksSumMinMaxMean) {
+  Histogram h;
+  h.observe(2e-6);
+  h.observe(8e-6);
+  h.observe(32e-6);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_NEAR(snap.sum, 42e-6, 1e-12);
+  EXPECT_NEAR(snap.min, 2e-6, 1e-12);
+  EXPECT_NEAR(snap.max, 32e-6, 1e-12);
+  EXPECT_NEAR(snap.mean(), 14e-6, 1e-12);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAreExponential) {
+  // scale = 1: bucket i covers [2^i, 2^(i+1)).
+  Histogram h(/*scale=*/1.0, /*num_buckets=*/4);
+  h.observe(1.0);   // bucket 0
+  h.observe(3.0);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(100.0); // clamps to the last bucket
+  h.observe(0.25);  // clamps to the first bucket
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableInstruments) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);  // find-or-create: same name, same instrument
+  a.add(7);
+  EXPECT_EQ(registry.counter("x").value(), 7u);
+  EXPECT_NE(&registry.counter("y"), &a);
+}
+
+TEST_F(MetricsTest, ConcurrentUpdatesFromPoolWorkersAreLossless) {
+  MetricsRegistry registry;
+  Counter& events = registry.counter("events_total");
+  Gauge& last = registry.gauge("last_value");
+  Histogram& values = registry.histogram("values", /*scale=*/1.0);
+
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kPerTask = 250;
+  ThreadPool pool(8);
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    for (std::size_t j = 0; j < kPerTask; ++j) {
+      events.add();
+      last.set(static_cast<double>(i));
+      values.observe(static_cast<double>(i % 8 + 1));
+    }
+  });
+
+  EXPECT_EQ(events.value(), kTasks * kPerTask);
+  const auto snap = values.snapshot();
+  EXPECT_EQ(snap.count, kTasks * kPerTask);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+  // Sum of i%8+1 over i in [0,64) is 64*4.5; each repeated kPerTask times.
+  EXPECT_NEAR(snap.sum, 4.5 * kTasks * kPerTask, 1e-6);
+  EXPECT_GE(last.value(), 0.0);
+  EXPECT_LT(last.value(), static_cast<double>(kTasks));
+}
+
+TEST_F(MetricsTest, ToJsonAndRenderExposeInstruments) {
+  MetricsRegistry registry;
+  registry.counter("hits_total").add(3);
+  registry.gauge("temperature").set(21.5);
+  registry.histogram("latency").observe(1e-3);
+
+  const JsonValue dump = registry.to_json();
+  ASSERT_TRUE(dump.is_object());
+  EXPECT_DOUBLE_EQ(dump.at("counters").at("hits_total").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(dump.at("gauges").at("temperature").as_number(), 21.5);
+  const auto& lat = dump.at("histograms").at("latency");
+  EXPECT_DOUBLE_EQ(lat.at("count").as_number(), 1.0);
+  EXPECT_NEAR(lat.at("mean").as_number(), 1e-3, 1e-12);
+
+  const std::string table = registry.render();
+  EXPECT_NE(table.find("hits_total"), std::string::npos);
+  EXPECT_NE(table.find("temperature"), std::string::npos);
+  EXPECT_NE(table.find("latency"), std::string::npos);
+}
+
+TEST_F(MetricsTest, MetricsObserverFedByTrainerRun) {
+  SyntheticConfig sc = synthetic_config(0.5, 0.5, 23);
+  sc.num_devices = 8;
+  sc.min_samples = 12;
+  sc.mean_log = 2.5;
+  sc.sigma_log = 0.4;
+  const FederatedDataset data = make_synthetic(sc);
+  LogisticRegression model(data.input_dim, data.num_classes);
+
+  TrainerConfig c = fedprox_config(0.5);
+  c.rounds = 5;
+  c.devices_per_round = 4;
+  c.systems.epochs = 3;
+  c.systems.straggler_fraction = 0.5;
+  c.learning_rate = 0.03;
+  c.seed = 23;
+
+  MetricsRegistry registry;
+  MetricsObserver metrics(registry);
+  Trainer trainer(model, data, c);
+  trainer.add_observer(metrics);
+  const auto history = trainer.run();
+
+  EXPECT_EQ(registry.counter("fed_rounds_total").value(),
+            history.rounds.size());
+  EXPECT_EQ(registry.counter("fed_clients_total").value(), 5u * 4u);
+  std::size_t stragglers = 0;
+  for (const auto& m : history.rounds) stragglers += m.stragglers;
+  EXPECT_EQ(registry.counter("fed_stragglers_total").value(), stragglers);
+
+  // bytes = d * sizeof(double) per participant, summed over rounds.
+  const std::uint64_t param_bytes = model.parameter_count() * sizeof(double);
+  std::uint64_t expect_up = 0;
+  for (const auto& m : history.rounds) expect_up += m.contributors * param_bytes;
+  EXPECT_EQ(registry.counter("fed_bytes_up_total").value(), expect_up);
+  EXPECT_EQ(registry.counter("fed_bytes_down_total").value(),
+            5u * 4u * param_bytes);
+
+  EXPECT_DOUBLE_EQ(registry.gauge("fed_mu").value(), 0.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("fed_round").value(),
+                   static_cast<double>(history.rounds.back().round));
+  EXPECT_DOUBLE_EQ(registry.gauge("fed_train_loss").value(),
+                   *history.final_metrics().train_loss);
+
+  EXPECT_EQ(registry.histogram("fed_round_seconds").snapshot().count,
+            history.rounds.size());
+  EXPECT_EQ(registry.histogram("fed_client_solve_seconds").snapshot().count,
+            5u * 4u);
+}
+
+}  // namespace
+}  // namespace fed

@@ -1,0 +1,251 @@
+// Trace plumbing: JSONL sink output (one parseable line per round with
+// every phase key), the bytes-moved arithmetic, SolveStats/TraceSummary,
+// and the stdout summary sink.
+
+#include "obs/trace_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "obs/trace.h"
+#include "support/json.h"
+#include "support/log.h"
+
+namespace fed {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kWarn); }
+
+  static const FederatedDataset& data() {
+    static const FederatedDataset d = [] {
+      SyntheticConfig c = synthetic_config(1.0, 1.0, 29);
+      c.num_devices = 8;
+      c.min_samples = 12;
+      c.mean_log = 2.5;
+      c.sigma_log = 0.4;
+      return make_synthetic(c);
+    }();
+    return d;
+  }
+
+  static TrainerConfig config(std::size_t rounds) {
+    TrainerConfig c = fedprox_config(1.0);
+    c.rounds = rounds;
+    c.devices_per_round = 4;
+    c.systems.epochs = 3;
+    c.systems.straggler_fraction = 0.5;
+    c.learning_rate = 0.03;
+    c.seed = 29;
+    return c;
+  }
+
+  // Runs a traced training and returns the JSONL lines.
+  static std::vector<std::string> traced_lines(std::size_t rounds) {
+    LogisticRegression model(data().input_dim, data().num_classes);
+    std::ostringstream out;
+    JsonlTraceSink sink(out);
+    TraceObserver tracer(sink);
+    Trainer trainer(model, data(), config(rounds));
+    trainer.add_observer(tracer);
+    trainer.run();
+
+    std::vector<std::string> lines;
+    std::istringstream in(out.str());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  }
+};
+
+TEST_F(TraceTest, SolveStatsFromSamples) {
+  const std::array<double, 4> samples = {0.4, 0.1, 0.3, 0.2};
+  const SolveStats s = SolveStats::from_samples(samples);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.total_seconds, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 0.4);
+  EXPECT_NEAR(s.mean_seconds, 0.25, 1e-12);
+
+  const SolveStats empty = SolveStats::from_samples({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.total_seconds, 0.0);
+}
+
+TEST_F(TraceTest, SummaryAccumulatesAcrossRounds) {
+  RoundTrace a;
+  a.sampling_seconds = 0.1;
+  a.aggregate_seconds = 0.2;
+  a.round_seconds = 1.0;
+  a.bytes_down = 100;
+  a.bytes_up = 50;
+  RoundTrace b;
+  b.eval_seconds = 0.4;
+  b.round_seconds = 0.5;
+  b.bytes_down = 10;
+
+  const std::vector<RoundTrace> traces{a, b};
+  const TraceSummary s = summarize(traces);
+  EXPECT_EQ(s.rounds, 2u);
+  EXPECT_NEAR(s.total_seconds, 1.5, 1e-12);
+  EXPECT_NEAR(s.sampling_seconds, 0.1, 1e-12);
+  EXPECT_NEAR(s.aggregate_seconds, 0.2, 1e-12);
+  EXPECT_NEAR(s.eval_seconds, 0.4, 1e-12);
+  EXPECT_EQ(s.bytes_down, 110u);
+  EXPECT_EQ(s.bytes_up, 50u);
+}
+
+TEST_F(TraceTest, JsonlSinkWritesHeaderPlusOneLinePerRecord) {
+  constexpr std::size_t kRounds = 20;
+  const auto lines = traced_lines(kRounds);
+  // Header + round-0 record + one line per training round.
+  ASSERT_EQ(lines.size(), 1 + kRounds + 1);
+
+  const JsonValue header = parse_json(lines.front());
+  ASSERT_TRUE(header.contains("run"));
+  const auto& run = header.at("run");
+  EXPECT_EQ(run.at("algorithm").as_string(), "FedProx");
+  EXPECT_DOUBLE_EQ(run.at("rounds").as_number(), kRounds);
+  EXPECT_DOUBLE_EQ(run.at("devices_per_round").as_number(), 4.0);
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue v = parse_json(lines[i]);  // every line parses
+    EXPECT_DOUBLE_EQ(v.at("round").as_number(),
+                     static_cast<double>(i - 1));
+    const auto& phases = v.at("phases");
+    EXPECT_TRUE(phases.contains("sampling_s"));
+    EXPECT_TRUE(phases.contains("solve_wall_s"));
+    EXPECT_TRUE(phases.contains("aggregate_s"));
+    EXPECT_TRUE(phases.contains("eval_s"));
+    EXPECT_TRUE(phases.at("solve").contains("mean_s"));
+    EXPECT_GE(v.at("round_s").as_number(), 0.0);
+    EXPECT_TRUE(v.contains("metrics"));
+  }
+}
+
+TEST_F(TraceTest, TraceCountsAndBytesFollowTheConfig) {
+  constexpr std::size_t kRounds = 5;
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TraceCollector collector;
+  Trainer trainer(model, data(), config(kRounds));
+  trainer.add_observer(collector);
+  const auto history = trainer.run();
+
+  const std::uint64_t param_bytes = model.parameter_count() * sizeof(double);
+  const auto& traces = collector.traces();
+  ASSERT_EQ(traces.size(), kRounds + 1);
+
+  // Round-0 record: evaluation only, no devices, no traffic.
+  EXPECT_TRUE(traces.front().evaluated);
+  EXPECT_EQ(traces.front().selected, 0u);
+  EXPECT_EQ(traces.front().bytes_down, 0u);
+  EXPECT_EQ(traces.front().bytes_up, 0u);
+
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    const auto& t = traces[i];
+    // FedProx keeps stragglers: every selected device contributes.
+    EXPECT_EQ(t.selected, 4u);
+    EXPECT_EQ(t.contributors, t.selected);
+    EXPECT_LE(t.stragglers, t.selected);
+    EXPECT_EQ(t.contributors, history.rounds[i].contributors);
+    EXPECT_EQ(t.bytes_down, t.selected * param_bytes);
+    EXPECT_EQ(t.bytes_up, t.contributors * param_bytes);
+    // Phase wall times are measured, non-negative, and bounded by the
+    // whole-round time.
+    EXPECT_GT(t.solve.count, 0u);
+    EXPECT_GE(t.solve.min_seconds, 0.0);
+    EXPECT_LE(t.solve.min_seconds, t.solve.max_seconds);
+    EXPECT_GE(t.round_seconds,
+              t.sampling_seconds + t.aggregate_seconds + t.eval_seconds);
+  }
+}
+
+TEST_F(TraceTest, TraceToJsonRoundTripsStructuralFields) {
+  RoundTrace t;
+  t.round = 7;
+  t.evaluated = true;
+  t.selected = 10;
+  t.contributors = 9;
+  t.stragglers = 1;
+  t.sampling_seconds = 0.001;
+  t.solve_wall_seconds = 0.25;
+  t.aggregate_seconds = 0.003;
+  t.eval_seconds = 0.02;
+  t.round_seconds = 0.3;
+  t.bytes_down = 8080;
+  t.bytes_up = 7272;
+
+  const JsonValue v = trace_to_json(t);
+  EXPECT_DOUBLE_EQ(v.at("round").as_number(), 7.0);
+  EXPECT_TRUE(v.at("evaluated").as_bool());
+  EXPECT_DOUBLE_EQ(v.at("selected").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(v.at("contributors").as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(v.at("stragglers").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("bytes_down").as_number(), 8080.0);
+  EXPECT_DOUBLE_EQ(v.at("bytes_up").as_number(), 7272.0);
+  EXPECT_DOUBLE_EQ(v.at("phases").at("solve_wall_s").as_number(), 0.25);
+  // The JSON serializer round-trips numbers exactly.
+  const JsonValue reparsed = parse_json(serialize_json(v));
+  EXPECT_EQ(reparsed, v);
+}
+
+TEST_F(TraceTest, StdoutSummarySinkRendersPhaseTable) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  std::ostringstream out;
+  StdoutSummarySink sink(out);
+  TraceObserver tracer(sink);
+  Trainer trainer(model, data(), config(3));
+  trainer.add_observer(tracer);
+  trainer.run();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("FedProx run: 4 rounds"), std::string::npos);
+  EXPECT_NE(text.find("12 client solves"), std::string::npos);
+  EXPECT_NE(text.find("sampling"), std::string::npos);
+  EXPECT_NE(text.find("local solve"), std::string::npos);
+  EXPECT_NE(text.find("aggregate"), std::string::npos);
+  EXPECT_NE(text.find("evaluation"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonlFileSinkCreatesParentDirectories) {
+  const std::string dir = ::testing::TempDir() + "fedprox_obs_trace";
+  const std::string path = dir + "/nested/trace.jsonl";
+  {
+    JsonlTraceSink sink(path);
+    EXPECT_EQ(sink.path(), path);
+    RunInfo info;
+    info.algorithm = "FedProx";
+    sink.begin_run(info);
+    RoundMetrics m;
+    RoundTrace t;
+    sink.write(m, t);
+    sink.end_run(TrainHistory{});
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_NO_THROW(parse_json(line));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2u);  // header + one trace line
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fed

@@ -7,6 +7,7 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "nn/logistic.h"
+#include "obs/observer.h"
 #include "support/log.h"
 
 namespace fed {
@@ -54,8 +55,8 @@ TEST_P(ThreadCountTest, IdenticalResultsAcrossThreadCounts) {
   c.threads = GetParam();
   const auto run = Trainer(model, data(), c).run();
   EXPECT_EQ(reference.final_parameters, run.final_parameters);
-  EXPECT_DOUBLE_EQ(reference.final_metrics().train_loss,
-                   run.final_metrics().train_loss);
+  EXPECT_EQ(reference.final_metrics().train_loss,
+            run.final_metrics().train_loss);
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountTest,
@@ -85,6 +86,77 @@ TEST_F(DeterminismTest, RunOrderDoesNotLeakBetweenTrainers) {
   const auto after = Trainer(model, data(), prox).run();
 
   EXPECT_EQ(solo.final_parameters, after.final_parameters);
+}
+
+namespace {
+
+// Full per-round equality of the deterministic RoundMetrics fields.
+void expect_histories_equal(const TrainHistory& a, const TrainHistory& b) {
+  EXPECT_EQ(a.final_parameters, b.final_parameters);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    const auto& x = a.rounds[i];
+    const auto& y = b.rounds[i];
+    EXPECT_EQ(x.round, y.round);
+    EXPECT_EQ(x.train_loss, y.train_loss);
+    EXPECT_EQ(x.train_accuracy, y.train_accuracy);
+    EXPECT_EQ(x.test_accuracy, y.test_accuracy);
+    EXPECT_EQ(x.grad_variance, y.grad_variance);
+    EXPECT_EQ(x.dissimilarity_b, y.dissimilarity_b);
+    EXPECT_EQ(x.mu, y.mu);
+    EXPECT_EQ(x.mean_gamma, y.mean_gamma);
+    EXPECT_EQ(x.contributors, y.contributors);
+    EXPECT_EQ(x.stragglers, y.stragglers);
+  }
+}
+
+}  // namespace
+
+// Attaching observers must not perturb training, and the structural trace
+// fields (everything except wall times) must themselves be thread-count
+// invariant.
+TEST_F(DeterminismTest, ObserversDoNotPerturbTraining) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+
+  const auto bare = Trainer(model, data(), config()).run();
+
+  TraceCollector collector;
+  Trainer observed(model, data(), config());
+  observed.add_observer(collector);
+  const auto with_observer = observed.run();
+
+  expect_histories_equal(bare, with_observer);
+  EXPECT_EQ(collector.traces().size(), bare.rounds.size());
+}
+
+TEST_F(DeterminismTest, TracesStructurallyIdenticalAcrossThreadCounts) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+
+  auto run_with_threads = [&](std::size_t threads) {
+    TrainerConfig c = config();
+    c.threads = threads;
+    TraceCollector collector;
+    Trainer trainer(model, data(), c);
+    trainer.add_observer(collector);
+    auto history = trainer.run();
+    return std::make_pair(std::move(history), collector.traces());
+  };
+
+  const auto [h1, t1] = run_with_threads(1);
+  const auto [h4, t4] = run_with_threads(4);
+
+  expect_histories_equal(h1, h4);
+  ASSERT_EQ(t1.size(), t4.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].round, t4[i].round);
+    EXPECT_EQ(t1[i].evaluated, t4[i].evaluated);
+    EXPECT_EQ(t1[i].selected, t4[i].selected);
+    EXPECT_EQ(t1[i].contributors, t4[i].contributors);
+    EXPECT_EQ(t1[i].stragglers, t4[i].stragglers);
+    EXPECT_EQ(t1[i].solve.count, t4[i].solve.count);
+    EXPECT_EQ(t1[i].bytes_down, t4[i].bytes_down);
+    EXPECT_EQ(t1[i].bytes_up, t4[i].bytes_up);
+  }
 }
 
 TEST_F(DeterminismTest, DifferentSeedsDiverge) {

@@ -85,8 +85,8 @@ TEST_F(TheoryMuTrainerTest, TheoryPolicyRaisesMuOnHeterogeneousData) {
   bool positive_mu = false;
   for (const auto& m : h.rounds) {
     if (m.mu > 0.0) positive_mu = true;
-    if (m.evaluated) {
-      EXPECT_TRUE(m.dissimilarity_measured);
+    if (m.evaluated()) {
+      EXPECT_TRUE(m.dissimilarity_b.has_value());
     }
   }
   EXPECT_TRUE(positive_mu);

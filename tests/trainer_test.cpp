@@ -4,6 +4,7 @@
 
 #include "data/synthetic.h"
 #include "nn/logistic.h"
+#include "obs/observer.h"
 #include "optim/gd.h"
 #include "support/log.h"
 
@@ -60,7 +61,7 @@ TEST_F(TrainerTest, HistoryShapeAndRoundZero) {
       Trainer(model, iid_data(), small_config(Algorithm::kFedProx, 0.0, 0.0))
           .run();
   ASSERT_EQ(history.rounds.size(), 26u);  // round 0 + 25 training rounds
-  EXPECT_TRUE(history.rounds.front().evaluated);
+  EXPECT_TRUE(history.rounds.front().evaluated());
   EXPECT_EQ(history.rounds.front().round, 0u);
   EXPECT_EQ(history.final_parameters.size(), model.parameter_count());
 }
@@ -70,8 +71,8 @@ TEST_F(TrainerTest, LossDecreasesOnIidData) {
   auto history =
       Trainer(model, iid_data(), small_config(Algorithm::kFedProx, 0.0, 0.0))
           .run();
-  const double first = history.rounds.front().train_loss;
-  const double last = history.final_metrics().train_loss;
+  const double first = *history.rounds.front().train_loss;
+  const double last = *history.final_metrics().train_loss;
   EXPECT_LT(last, first * 0.8);
   EXPECT_FALSE(history.diverged());
 }
@@ -100,7 +101,7 @@ TEST_F(TrainerTest, RunsAreExactlyReproducible) {
   EXPECT_EQ(a.final_parameters, b.final_parameters);
   ASSERT_EQ(a.rounds.size(), b.rounds.size());
   for (std::size_t i = 0; i < a.rounds.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.rounds[i].train_loss, b.rounds[i].train_loss);
+    EXPECT_EQ(a.rounds[i].train_loss, b.rounds[i].train_loss);
   }
 }
 
@@ -134,9 +135,9 @@ TEST_F(TrainerTest, EvalEveryIsHonoredAndFinalRoundAlwaysEvaluated) {
   config.eval_every = 10;
   auto history = Trainer(model, iid_data(), config).run();
   std::size_t evaluated = 0;
-  for (const auto& m : history.rounds) evaluated += m.evaluated ? 1 : 0;
+  for (const auto& m : history.rounds) evaluated += m.evaluated() ? 1 : 0;
   EXPECT_EQ(evaluated, 4u);  // rounds 0, 10, 20, 25
-  EXPECT_TRUE(history.rounds.back().evaluated);
+  EXPECT_TRUE(history.rounds.back().evaluated());
 }
 
 TEST_F(TrainerTest, GammaMeasurementRecorded) {
@@ -146,8 +147,8 @@ TEST_F(TrainerTest, GammaMeasurementRecorded) {
   config.rounds = 3;
   auto history = Trainer(model, iid_data(), config).run();
   for (std::size_t i = 1; i < history.rounds.size(); ++i) {
-    EXPECT_TRUE(history.rounds[i].gamma_measured);
-    EXPECT_GE(history.rounds[i].mean_gamma, 0.0);
+    ASSERT_TRUE(history.rounds[i].mean_gamma.has_value());
+    EXPECT_GE(*history.rounds[i].mean_gamma, 0.0);
   }
 }
 
@@ -157,9 +158,9 @@ TEST_F(TrainerTest, DissimilarityMeasurementRecorded) {
   config.measure_dissimilarity = true;
   config.rounds = 2;
   auto history = Trainer(model, noniid_data(), config).run();
-  EXPECT_TRUE(history.rounds.front().dissimilarity_measured);
-  EXPECT_GT(history.rounds.front().grad_variance, 0.0);
-  EXPECT_GE(history.rounds.front().dissimilarity_b, 1.0);
+  ASSERT_TRUE(history.rounds.front().dissimilarity_b.has_value());
+  EXPECT_GT(*history.rounds.front().grad_variance, 0.0);
+  EXPECT_GE(*history.rounds.front().dissimilarity_b, 1.0);
 }
 
 TEST_F(TrainerTest, AdaptiveMuChangesOverTraining) {
@@ -183,8 +184,8 @@ TEST_F(TrainerTest, CustomSolverPluggable) {
   config.rounds = 5;
   auto history = Trainer(model, iid_data(), config).run();
   EXPECT_FALSE(history.diverged());
-  EXPECT_LT(history.final_metrics().train_loss,
-            history.rounds.front().train_loss);
+  EXPECT_LT(*history.final_metrics().train_loss,
+            *history.rounds.front().train_loss);
 }
 
 TEST_F(TrainerTest, FedDaneRunsAndRecords) {
@@ -196,13 +197,16 @@ TEST_F(TrainerTest, FedDaneRunsAndRecords) {
   EXPECT_FALSE(history.diverged());
 }
 
-TEST_F(TrainerTest, RoundCallbackInvokedPerRound) {
+TEST_F(TrainerTest, RoundCallbackAdapterInvokedPerRound) {
+  // The RoundCallback adapter must keep the old cadence: one call per
+  // history record (round 0 + each training round).
   LogisticRegression model(iid_data().input_dim, iid_data().num_classes);
   auto config = small_config(Algorithm::kFedProx, 0.0, 0.0);
   config.rounds = 4;
   Trainer trainer(model, iid_data(), config);
   std::size_t calls = 0;
-  trainer.set_round_callback([&](const RoundMetrics&) { ++calls; });
+  CallbackObserver adapter([&](const RoundMetrics&) { ++calls; });
+  trainer.add_observer(adapter);
   trainer.run();
   EXPECT_EQ(calls, 5u);
 }
@@ -224,8 +228,8 @@ TEST_F(TrainerTest, SamplingSchemesBothTrain) {
     config.sampling = scheme;
     config.rounds = 10;
     auto history = Trainer(model, iid_data(), config).run();
-    EXPECT_LT(history.final_metrics().train_loss,
-              history.rounds.front().train_loss);
+    EXPECT_LT(*history.final_metrics().train_loss,
+              *history.rounds.front().train_loss);
   }
 }
 
