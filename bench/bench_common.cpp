@@ -4,6 +4,8 @@
 #include <iostream>
 #include <map>
 
+#include "obs/chrome_trace.h"
+#include "obs/profiler.h"
 #include "support/log.h"
 
 namespace fed::bench {
@@ -22,6 +24,7 @@ BenchOptions parse_options(const CliFlags& flags) {
       static_cast<std::size_t>(flags.get_int("rounds", 0));
   options.out_dir = flags.get_string("out-dir", "bench_out");
   options.trace_out = flags.get_optional_string("trace-out").value_or("");
+  options.profile_out = flags.get_optional_string("profile-out").value_or("");
   options.quick = flags.get_bool("quick", false);
   for (const auto& name : flags.unused()) {
     log_warn() << "ignoring unknown flag --" << name;
@@ -48,10 +51,26 @@ void apply_rounds(TrainerConfig& config, const Workload& workload,
 }
 
 TraceCapture::TraceCapture(const BenchOptions& options) {
-  if (options.trace_out.empty()) return;
-  sink_ = std::make_unique<JsonlTraceSink>(options.trace_out);
-  observer_ = std::make_unique<TraceObserver>(*sink_);
-  log_info() << "streaming round traces to " << options.trace_out;
+  if (!options.trace_out.empty()) {
+    sink_ = std::make_unique<JsonlTraceSink>(options.trace_out);
+    observer_ = std::make_unique<TraceObserver>(*sink_);
+    log_info() << "streaming round traces to " << options.trace_out;
+  }
+  if (!options.profile_out.empty()) {
+    profile_out_ = options.profile_out;
+    Profiler::instance().set_thread_name("main");
+    Profiler::instance().enable();
+    log_info() << "span profiler on; Chrome trace will land at "
+               << profile_out_;
+  }
+}
+
+TraceCapture::~TraceCapture() {
+  if (profile_out_.empty()) return;
+  Profiler::instance().disable();
+  write_chrome_trace(profile_out_);
+  log_info() << "wrote span profile to " << profile_out_
+             << " (open in chrome://tracing or ui.perfetto.dev)";
 }
 
 const char* metric_name(Metric metric) {

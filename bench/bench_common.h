@@ -7,6 +7,7 @@
 //   --epochs E       local epochs E (default 20, the paper's Figure 1/2)
 //   --out-dir DIR    where CSVs land (default bench_out/)
 //   --trace-out P    stream per-round JSONL phase traces to P (obs/)
+//   --profile-out P  write a Chrome trace-event span profile to P (obs/)
 //   --quick          very small run for smoke-testing the harness
 // and prints the paper-style series table to stdout plus a CSV per figure.
 
@@ -31,6 +32,7 @@ struct BenchOptions {
   std::size_t rounds_override = 0;  // 0 = workload default
   std::string out_dir = "bench_out";
   std::string trace_out;            // empty = tracing disabled
+  std::string profile_out;          // empty = span profiler disabled
   bool quick = false;
 };
 
@@ -49,9 +51,12 @@ Workload load_workload(const std::string& name, const BenchOptions& options);
 void apply_rounds(TrainerConfig& config, const Workload& workload,
                   const BenchOptions& options);
 
-// Owns the JSONL trace sink + observer created from --trace-out. Keep it
-// alive for the whole driver run and pass observer() (nullptr when the
-// flag is unset) to RunVariantsOptions::observer:
+// Owns the JSONL trace sink + observer created from --trace-out, and the
+// span-profiler session created from --profile-out (enables the profiler
+// at construction, drains it into a Chrome trace-event file at
+// destruction). Keep it alive for the whole driver run and pass
+// observer() (nullptr when the flag is unset) to
+// RunVariantsOptions::observer:
 //
 //   TraceCapture trace(options);
 //   RunVariantsOptions rv;
@@ -60,11 +65,16 @@ void apply_rounds(TrainerConfig& config, const Workload& workload,
 class TraceCapture {
  public:
   explicit TraceCapture(const BenchOptions& options);
+  ~TraceCapture();
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
   TrainingObserver* observer() const { return observer_.get(); }
 
  private:
   std::unique_ptr<TraceSink> sink_;
   std::unique_ptr<TrainingObserver> observer_;
+  std::string profile_out_;  // empty = profiler not owned by this capture
 };
 
 // Renders one metric (selected by `metric`) of every variant against the

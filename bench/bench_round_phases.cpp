@@ -1,11 +1,12 @@
 // Round-phase timing benchmark: where a federated round's time goes, and
 // what the observability layer costs.
 //
-// Runs FedProx on Synthetic(1,1) for 20 rounds twice — observer-free
-// baseline vs. full instrumentation (JSONL trace sink + collector) — and
-// writes BENCH_trainer_round.json with per-phase means and the
-// instrumentation overhead. The JSONL trace itself lands next to the
-// CSVs (override with --trace-out).
+// Runs FedProx on Synthetic(1,1) for 20 rounds in three modes —
+// observer-free baseline, full observers (JSONL trace sink + collector),
+// and observers + span profiler — and writes BENCH_trainer_round.json
+// with per-phase means plus the observer and profiler overheads. The
+// JSONL trace lands next to the CSVs (override with --trace-out); pass
+// --profile-out to also keep one rep's Chrome trace.
 //
 //   ./bench_round_phases [--rounds 20] [--reps 3] [--stragglers 0.5]
 
@@ -13,7 +14,10 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "obs/trace_sink.h"
 #include "support/json.h"
 #include "support/stopwatch.h"
@@ -24,8 +28,8 @@ using namespace fed;
 using namespace fed::bench;
 
 double run_once(const Workload& workload, const TrainerConfig& config,
-                TrainingObserver* observer) {
-  Trainer trainer(*workload.model, workload.data, config);
+                TrainingObserver* observer, ThreadPool* pool = nullptr) {
+  Trainer trainer(*workload.model, workload.data, config, pool);
   if (observer) trainer.add_observer(*observer);
   Stopwatch timer;
   trainer.run();
@@ -67,7 +71,12 @@ int main(int argc, char** argv) {
 
   double baseline = 0.0;
   double observed = 0.0;
+  double profiled = 0.0;
+  std::size_t profiled_events = 0;
   TraceCollector collector;
+  MetricsRegistry pool_registry;
+  Profiler& profiler = Profiler::instance();
+  profiler.set_thread_name("main");
   for (std::size_t rep = 0; rep < reps; ++rep) {
     const double b = run_once(workload, config, nullptr);
     baseline = rep ? std::min(baseline, b) : b;
@@ -80,12 +89,37 @@ int main(int argc, char** argv) {
     stack.add(collector);
     const double o = run_once(workload, config, &stack);
     observed = rep ? std::min(observed, o) : o;
+
+    // Same observer stack with the span profiler hot, on a pool we own
+    // so worker utilization can be read back. Events from all but the
+    // last rep are discarded so a kept --profile-out trace only shows
+    // one run.
+    ThreadPool profiled_pool(config.threads);
+    profiler.discard();
+    profiler.enable();
+    const double p = run_once(workload, config, &stack, &profiled_pool);
+    profiler.disable();
+    if (rep + 1 == reps) record_pool_stats(profiled_pool, pool_registry);
+    profiled = rep ? std::min(profiled, p) : p;
+    if (rep + 1 == reps) {
+      if (options.profile_out.empty()) {
+        profiled_events = profiler.drain().events.size();
+      } else {
+        const auto snapshot = profiler.drain();
+        profiled_events = snapshot.events.size();
+        save_json_file(options.profile_out, chrome_trace_json(snapshot));
+        std::cout << "kept last profiled rep's Chrome trace at "
+                  << options.profile_out << "\n";
+      }
+    }
   }
 
   const auto& traces = collector.traces();
   const TraceSummary summary = summarize(traces);
   const double overhead_pct =
       baseline > 0.0 ? 100.0 * (observed - baseline) / baseline : 0.0;
+  const double profiler_overhead_pct =
+      baseline > 0.0 ? 100.0 * (profiled - baseline) / baseline : 0.0;
   const double n = summary.rounds ? static_cast<double>(summary.rounds) : 1.0;
 
   double solve_client_total = 0.0;
@@ -114,6 +148,14 @@ int main(int argc, char** argv) {
   out["baseline_seconds"] = baseline;
   out["observed_seconds"] = observed;
   out["overhead_pct"] = overhead_pct;
+  out["profiled_seconds"] = profiled;
+  out["profiler_overhead_pct"] = profiler_overhead_pct;
+  out["profiled_events"] = profiled_events;
+  out["profile_kernels_compiled"] = kProfileKernels;
+  out["pool_busy_seconds"] =
+      pool_registry.gauge("fed_pool_busy_seconds").value();
+  out["pool_queue_wait_seconds"] =
+      pool_registry.gauge("fed_pool_queue_wait_seconds").value();
   out["phases"] = std::move(phases);
   out["bytes_down_total"] = summary.bytes_down;
   out["bytes_up_total"] = summary.bytes_up;
@@ -131,8 +173,12 @@ int main(int argc, char** argv) {
   }
   stdout_sink.end_run(TrainHistory{});
 
-  std::cout << "\nbaseline " << baseline << "s, instrumented " << observed
+  std::cout << "\nbaseline " << baseline << "s, observers " << observed
             << "s (overhead " << TablePrinter::fmt(overhead_pct, 2)
-            << "%)\nwrote " << json_path << " and " << trace_path << "\n";
+            << "%), observers+profiler " << profiled << "s (overhead "
+            << TablePrinter::fmt(profiler_overhead_pct, 2) << "%, "
+            << profiled_events << " events, kernel spans "
+            << (kProfileKernels ? "compiled" : "off") << ")\nwrote "
+            << json_path << " and " << trace_path << "\n";
   return 0;
 }

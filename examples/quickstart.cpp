@@ -2,14 +2,17 @@
 // watch the global loss fall.
 //
 //   ./quickstart [--rounds 50] [--mu 1.0] [--stragglers 0.5]
-//                [--trace-out trace.jsonl]
+//                [--trace-out trace.jsonl] [--profile-out run.trace.json]
 
 #include <iostream>
 #include <memory>
 
 #include "core/registry.h"
 #include "core/trainer.h"
+#include "obs/chrome_trace.h"
+#include "obs/health.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "obs/trace_sink.h"
 #include "support/cli.h"
 #include "support/csv.h"
@@ -54,10 +57,17 @@ int main(int argc, char** argv) {
   config.eval_every = 5;
 
   // 3. Train, printing each evaluated round. With --trace-out a JSONL
-  //    sink additionally records per-phase wall times for every round.
+  //    sink records per-phase wall times for every round; with
+  //    --profile-out the span profiler captures nested
+  //    run -> round -> phase -> client-solve spans into a Chrome
+  //    trace-event file (open in chrome://tracing or ui.perfetto.dev).
+  //    A HealthMonitor watches every round for numeric trouble.
   Trainer trainer(*workload.model, workload.data, config);
   ProgressPrinter printer;
   trainer.add_observer(printer);
+
+  HealthMonitor health;
+  trainer.add_observer(health);
 
   std::unique_ptr<JsonlTraceSink> sink;
   std::unique_ptr<TraceObserver> tracer;
@@ -67,7 +77,27 @@ int main(int argc, char** argv) {
     trainer.add_observer(*tracer);
     std::cout << "streaming round traces to " << *path << "\n";
   }
-  const TrainHistory history = trainer.run();
+
+  const auto profile_path = flags.get_optional_string("profile-out");
+  if (profile_path) {
+    Profiler::instance().set_thread_name("main");
+    Profiler::instance().enable();
+  }
+
+  TrainHistory history;
+  try {
+    history = trainer.run();
+  } catch (const HealthError& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+
+  if (profile_path) {
+    Profiler::instance().disable();
+    write_chrome_trace(*profile_path);
+    std::cout << "wrote span profile to " << *profile_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
 
   std::cout << "\nfinal loss " << *history.final_metrics().train_loss
             << ", final test accuracy "

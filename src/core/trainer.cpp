@@ -5,6 +5,7 @@
 
 #include "core/feddane.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "optim/sgd.h"
 #include "sim/aggregate.h"
 #include "sim/client.h"
@@ -99,24 +100,17 @@ Trainer::Trainer(const Model& model, const FederatedDataset& data,
   if (!config_.solver) config_.solver = std::make_shared<SgdSolver>();
 }
 
-Trainer::~Trainer() = default;
-
 void Trainer::add_observer(TrainingObserver& observer) {
+  if (run_started_) {
+    throw std::logic_error(
+        "Trainer: add_observer after run() started; register every "
+        "observer before running");
+  }
   observers_.push_back(&observer);
 }
 
-void Trainer::set_round_callback(RoundCallback cb) {
-  if (callback_adapter_) {
-    std::erase(observers_, callback_adapter_.get());
-    callback_adapter_.reset();
-  }
-  if (cb) {
-    callback_adapter_ = std::make_unique<CallbackObserver>(std::move(cb));
-    observers_.push_back(callback_adapter_.get());
-  }
-}
-
 TrainHistory Trainer::run() {
+  run_started_ = true;
   std::unique_ptr<ThreadPool> owned_pool;
   ThreadPool* pool = external_pool_;
   if (!pool) {
@@ -171,9 +165,16 @@ TrainHistory Trainer::run() {
     for (auto* o : observers_) o->on_run_start(info);
   }
 
+  // Whole-run profiler span; round/phase spans nest under it and client
+  // solves land on the pool-worker tracks (all no-ops while disabled).
+  Span run_span("run", "trainer", "rounds",
+                static_cast<std::int64_t>(config_.rounds), "clients",
+                static_cast<std::int64_t>(data_.num_clients()));
+
   // Evaluation phase: global eval plus (when configured) dissimilarity;
   // both are charged to the trace's eval_seconds.
   auto evaluate_round = [&](RoundMetrics& m, RoundTrace& trace) {
+    Span span("eval", "phase", "round", static_cast<std::int64_t>(m.round));
     Stopwatch timer;
     const GlobalEval eval = evaluate_global(model_, data_, w, pool);
     m.train_loss = eval.train_loss;
@@ -190,6 +191,8 @@ TrainHistory Trainer::run() {
 
   // Round 0 metrics: the initial model (the paper's plots start at w^0).
   {
+    Span round_span("round", "trainer", "round",
+                    static_cast<std::int64_t>(config_.first_round));
     Stopwatch round_timer;
     RoundMetrics m;
     m.round = config_.first_round;
@@ -206,6 +209,8 @@ TrainHistory Trainer::run() {
 
   for (std::size_t step = 0; step < config_.rounds; ++step) {
     const std::size_t t = config_.first_round + step;
+    Span round_span("round", "trainer", "round",
+                    static_cast<std::int64_t>(t + 1));
     Stopwatch round_timer;
     Stopwatch phase_timer;
     RoundTrace trace;
@@ -213,18 +218,21 @@ TrainHistory Trainer::run() {
 
     // 1. Select devices (deterministic in (seed, round); identical across
     //    algorithms under the same seed).
-    const auto selected = select_devices(config_.sampling, pk,
-                                         config_.devices_per_round,
-                                         config_.seed, t);
-
     // 2. Assign systems budgets (who straggles, how much work each gets).
-    std::vector<std::size_t> train_sizes(selected.size());
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-      train_sizes[i] = data_.clients[selected[i]].train.size();
+    std::vector<std::size_t> selected;
+    std::vector<DeviceBudget> budgets;
+    {
+      Span span("sampling", "phase", "round",
+                static_cast<std::int64_t>(t + 1));
+      selected = select_devices(config_.sampling, pk,
+                                config_.devices_per_round, config_.seed, t);
+      std::vector<std::size_t> train_sizes(selected.size());
+      for (std::size_t i = 0; i < selected.size(); ++i) {
+        train_sizes[i] = data_.clients[selected[i]].train.size();
+      }
+      budgets = assign_budgets(config_.systems, config_.seed, t, selected,
+                               train_sizes, config_.batch_size);
     }
-    const auto budgets =
-        assign_budgets(config_.systems, config_.seed, t, selected, train_sizes,
-                       config_.batch_size);
     trace.sampling_seconds = phase_timer.seconds();
 
     for (auto* o : observers_) o->on_round_start(t + 1, selected);
@@ -232,6 +240,8 @@ TrainHistory Trainer::run() {
     // 3. FedDane: estimate the full gradient from the sampled devices.
     std::vector<Vector> corrections;
     if (config_.algorithm == Algorithm::kFedDane) {
+      Span span("feddane_correction", "phase", "round",
+                static_cast<std::int64_t>(t + 1));
       phase_timer.reset();
       corrections = feddane_corrections(model_, data_, selected, w, pool);
       trace.correction_seconds = phase_timer.seconds();
@@ -247,15 +257,26 @@ TrainHistory Trainer::run() {
                                     .measure_gamma = config_.measure_gamma};
     std::vector<ClientResult> results(selected.size());
     phase_timer.reset();
-    pool->parallel_for(selected.size(), [&](std::size_t i) {
-      Rng minibatch_rng =
-          make_stream(config_.seed, StreamKind::kMinibatch, t, selected[i] + 1);
-      std::span<const double> correction;
-      if (!corrections.empty()) correction = corrections[i];
-      results[i] = run_client(model_, data_.clients[selected[i]], w,
-                              *config_.solver, budgets[i], client_config,
-                              correction, minibatch_rng);
-    });
+    {
+      Span span("solve_parallel", "phase", "round",
+                static_cast<std::int64_t>(t + 1), "devices",
+                static_cast<std::int64_t>(selected.size()));
+      pool->parallel_for(selected.size(), [&](std::size_t i) {
+        // Worker-side span: lands on the pool thread's track. Recording
+        // draws no randomness, so determinism is untouched.
+        Span solve_span("client_solve", "client", "round",
+                        static_cast<std::int64_t>(t + 1), "device",
+                        static_cast<std::int64_t>(selected[i]), "iterations",
+                        static_cast<std::int64_t>(budgets[i].iterations));
+        Rng minibatch_rng = make_stream(config_.seed, StreamKind::kMinibatch,
+                                        t, selected[i] + 1);
+        std::span<const double> correction;
+        if (!corrections.empty()) correction = corrections[i];
+        results[i] = run_client(model_, data_.clients[selected[i]], w,
+                                *config_.solver, budgets[i], client_config,
+                                correction, minibatch_rng);
+      });
+    }
     trace.solve_wall_seconds = phase_timer.seconds();
 
     for (auto* o : observers_) {
@@ -266,17 +287,26 @@ TrainHistory Trainer::run() {
     phase_timer.reset();
     std::vector<Contribution> contributions;
     std::size_t straggler_total = 0;
-    for (const auto& r : results) {
-      if (r.straggler) ++straggler_total;
-      if (config_.algorithm == Algorithm::kFedAvg && r.straggler) continue;
-      contributions.push_back(
-          {r.device, &r.update, static_cast<double>(r.num_samples)});
+    bool updated = false;
+    {
+      Span span("aggregate", "phase", "round",
+                static_cast<std::int64_t>(t + 1));
+      for (const auto& r : results) {
+        if (r.straggler) ++straggler_total;
+        if (config_.algorithm == Algorithm::kFedAvg && r.straggler) continue;
+        contributions.push_back(
+            {r.device, &r.update, static_cast<double>(r.num_samples)});
+      }
+      updated = aggregate(config_.sampling, contributions, w);
     }
-    const bool updated = aggregate(config_.sampling, contributions, w);
     trace.aggregate_seconds = phase_timer.seconds();
     if (!updated) {
       log_debug() << "round " << t
                   << ": every selected device was dropped; keeping w";
+    }
+
+    for (auto* o : observers_) {
+      o->on_aggregate(t + 1, std::span<const double>(w));
     }
 
     trace.selected = selected.size();

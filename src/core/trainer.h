@@ -15,13 +15,15 @@
 // configurations face identical conditions.
 //
 // Observability: attach TrainingObserver instances (obs/observer.h) with
-// add_observer to receive run/round/client hooks plus a RoundTrace of
-// per-phase wall times. Observers run on the round thread only and never
-// affect results — TrainHistory is bit-identical with and without them.
+// add_observer — before run() starts — to receive run/round/client hooks
+// plus a RoundTrace of per-phase wall times. Observers run on the round
+// thread only and never affect results — TrainHistory is bit-identical
+// with and without them. With the span profiler enabled (obs/profiler.h)
+// the run additionally emits nested run -> round -> phase -> client-solve
+// spans for Chrome-trace export.
 
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 
@@ -141,19 +143,15 @@ class Trainer {
   // can be shared across trainers; otherwise one is created per run.
   Trainer(const Model& model, const FederatedDataset& data,
           TrainerConfig config, ThreadPool* pool = nullptr);
-  ~Trainer();  // out of line: callback_adapter_ is incomplete here
 
   TrainHistory run();
 
   // Registers an observer for run/round/client telemetry (obs/observer.h).
   // Observers are invoked from the round thread only, in registration
   // order, and must outlive run(). They cannot affect training results.
+  // Throws std::logic_error once run() has started: late registration
+  // would skip on_run_start and break the ordering contract.
   void add_observer(TrainingObserver& observer);
-
-  // Deprecated adapter, kept for one release: wraps `cb` in a
-  // CallbackObserver invoked at on_round_end. Prefer add_observer.
-  using RoundCallback = std::function<void(const RoundMetrics&)>;
-  void set_round_callback(RoundCallback cb);
 
  private:
   const Model& model_;
@@ -161,7 +159,7 @@ class Trainer {
   TrainerConfig config_;
   ThreadPool* external_pool_;
   std::vector<TrainingObserver*> observers_;
-  std::unique_ptr<TrainingObserver> callback_adapter_;  // owns the shim
+  bool run_started_ = false;
 };
 
 }  // namespace fed

@@ -1,0 +1,165 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+
+namespace fed {
+
+const char* to_string(HealthIncident::Kind kind) {
+  switch (kind) {
+    case HealthIncident::Kind::kNonFiniteClientUpdate:
+      return "nonfinite_client_update";
+    case HealthIncident::Kind::kNonFiniteWeights: return "nonfinite_weights";
+    case HealthIncident::Kind::kNonFiniteLoss: return "nonfinite_loss";
+    case HealthIncident::Kind::kLossBlowup: return "loss_blowup";
+    case HealthIncident::Kind::kStalledConvergence:
+      return "stalled_convergence";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config, MetricsRegistry* registry)
+    : config_(config), registry_(registry) {}
+
+void HealthMonitor::on_run_start(const RunInfo& info) {
+  (void)info;
+  incidents_.clear();
+  round_suspects_.clear();
+  recent_losses_.clear();
+  has_best_loss_ = false;
+  evals_since_improvement_ = 0;
+  stall_reported_ = false;
+}
+
+void HealthMonitor::on_client_result(std::size_t round,
+                                     const ClientResult& result) {
+  if (all_finite(result.update)) return;
+  round_suspects_.push_back(result.device);
+  HealthIncident incident;
+  incident.kind = HealthIncident::Kind::kNonFiniteClientUpdate;
+  incident.round = round;
+  incident.device = result.device;
+  std::ostringstream msg;
+  msg << "round " << round << ": device " << result.device
+      << " produced a non-finite local update";
+  incident.message = msg.str();
+  // Never fatal here: FedAvg may still drop this device at aggregation;
+  // on_aggregate escalates if the poison reaches the global weights.
+  record(std::move(incident), /*fatal=*/false);
+}
+
+void HealthMonitor::on_aggregate(std::size_t round,
+                                 std::span<const double> weights) {
+  if (all_finite(weights)) return;
+  HealthIncident incident;
+  incident.kind = HealthIncident::Kind::kNonFiniteWeights;
+  incident.round = round;
+  std::ostringstream msg;
+  msg << "round " << round << ": aggregated weights contain NaN/Inf";
+  if (!round_suspects_.empty()) {
+    incident.device = round_suspects_.front();
+    msg << " (offending device";
+    if (round_suspects_.size() > 1) msg << "s";
+    msg << ":";
+    for (std::size_t device : round_suspects_) msg << " " << device;
+    msg << ")";
+  }
+  incident.message = msg.str();
+  record(std::move(incident), config_.abort_on_nonfinite);
+}
+
+void HealthMonitor::check_loss(std::size_t round, double loss) {
+  if (!std::isfinite(loss)) {
+    HealthIncident incident;
+    incident.kind = HealthIncident::Kind::kNonFiniteLoss;
+    incident.round = round;
+    incident.value = loss;
+    std::ostringstream msg;
+    msg << "round " << round << ": evaluated train loss is non-finite";
+    incident.message = msg.str();
+    record(std::move(incident), config_.abort_on_nonfinite);
+    return;
+  }
+
+  if (!recent_losses_.empty() && config_.blowup_factor > 0.0) {
+    std::vector<double> sorted = recent_losses_;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    if (median > 0.0 && loss > config_.blowup_factor * median) {
+      HealthIncident incident;
+      incident.kind = HealthIncident::Kind::kLossBlowup;
+      incident.round = round;
+      incident.value = loss / median;
+      std::ostringstream msg;
+      msg << "round " << round << ": train loss " << loss << " is "
+          << loss / median << "x the running median " << median;
+      incident.message = msg.str();
+      record(std::move(incident), config_.abort_on_blowup);
+    }
+  }
+  recent_losses_.push_back(loss);
+  if (recent_losses_.size() > std::max<std::size_t>(1, config_.median_window)) {
+    recent_losses_.erase(recent_losses_.begin());
+  }
+
+  if (config_.stall_patience == 0) return;
+  if (!has_best_loss_ ||
+      loss < best_loss_ * (1.0 - config_.stall_tolerance)) {
+    best_loss_ = loss;
+    has_best_loss_ = true;
+    evals_since_improvement_ = 0;
+    stall_reported_ = false;
+    return;
+  }
+  ++evals_since_improvement_;
+  if (evals_since_improvement_ >= config_.stall_patience && !stall_reported_) {
+    stall_reported_ = true;
+    HealthIncident incident;
+    incident.kind = HealthIncident::Kind::kStalledConvergence;
+    incident.round = round;
+    incident.value = best_loss_;
+    std::ostringstream msg;
+    msg << "round " << round << ": no loss improvement in "
+        << evals_since_improvement_ << " evaluated rounds (best " << best_loss_
+        << ")";
+    incident.message = msg.str();
+    record(std::move(incident), /*fatal=*/false);
+  }
+}
+
+void HealthMonitor::on_round_end(const RoundMetrics& metrics,
+                                 const RoundTrace& trace) {
+  (void)trace;
+  round_suspects_.clear();
+  if (metrics.evaluated()) check_loss(metrics.round, *metrics.train_loss);
+}
+
+void HealthMonitor::record(HealthIncident incident, bool fatal) {
+  incidents_.push_back(incident);
+  if (registry_) {
+    registry_->counter("health_incidents_total").add();
+    registry_->counter(std::string("health_") + to_string(incident.kind) +
+                       "_total")
+        .add();
+  }
+  if (fatal) throw HealthError(std::move(incident), report());
+}
+
+std::string HealthMonitor::report() const {
+  if (incidents_.empty()) return "";
+  std::ostringstream out;
+  out << "health: " << incidents_.size() << " incident"
+      << (incidents_.size() == 1 ? "" : "s") << " detected\n";
+  for (const auto& incident : incidents_) {
+    out << "  [" << to_string(incident.kind) << "] " << incident.message
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fed

@@ -1,0 +1,120 @@
+// Numeric health watchdog: turn silent divergence into a loud report.
+//
+// The paper's figures are loss curves; a NaN that sneaks into one client
+// update poisons the aggregate and every later round while the run keeps
+// "succeeding". HealthMonitor is a TrainingObserver that scans, every
+// round, (a) each client update for non-finite entries, (b) the
+// aggregated parameter vector, and (c) the evaluated train loss for
+// NaN/Inf, blow-up past k x the running median, and stalled convergence.
+// Incidents are recorded (and counted in a MetricsRegistry when one is
+// attached: health_incidents_total plus one counter per kind); fatal
+// kinds abort the run by throwing HealthError from the observer hook,
+// with a report naming the round and the offending device(s).
+//
+//   MetricsRegistry registry;
+//   HealthMonitor health(HealthConfig{}, &registry);
+//   trainer.add_observer(health);
+//   try {
+//     trainer.run();
+//   } catch (const HealthError& e) {
+//     std::cerr << e.what();   // full incident report
+//     return 1;
+//   }
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace fed {
+
+class MetricsRegistry;  // obs/metrics.h
+
+struct HealthConfig {
+  // Evaluated loss > blowup_factor x running median -> kLossBlowup.
+  double blowup_factor = 25.0;
+  // Evaluated losses kept for the running median.
+  std::size_t median_window = 9;
+  // Consecutive evaluated rounds without relative improvement >
+  // stall_tolerance before a kStalledConvergence incident; 0 disables.
+  std::size_t stall_patience = 50;
+  double stall_tolerance = 1e-6;
+  // Fatal kinds throw HealthError; non-fatal kinds only record.
+  bool abort_on_nonfinite = true;
+  bool abort_on_blowup = false;
+};
+
+struct HealthIncident {
+  enum class Kind {
+    kNonFiniteClientUpdate,  // a device's local solution has NaN/Inf
+    kNonFiniteWeights,       // the aggregated parameters have NaN/Inf
+    kNonFiniteLoss,          // an evaluated loss is NaN/Inf
+    kLossBlowup,             // loss > blowup_factor x running median
+    kStalledConvergence,     // no improvement for stall_patience evals
+  };
+
+  Kind kind{};
+  std::size_t round = 0;
+  std::optional<std::size_t> device;  // offending device, when known
+  double value = 0.0;                 // offending loss / blow-up ratio
+  std::string message;                // one-line human description
+};
+
+// Stable snake_case slug ("nonfinite_weights", ...); also names the
+// per-kind registry counter health_<slug>_total.
+const char* to_string(HealthIncident::Kind kind);
+
+// Thrown from an observer hook to abort Trainer::run. what() carries the
+// full multi-line report of every incident seen so far.
+class HealthError : public std::runtime_error {
+ public:
+  HealthError(HealthIncident incident, const std::string& report)
+      : std::runtime_error(report), incident_(std::move(incident)) {}
+
+  const HealthIncident& incident() const { return incident_; }
+
+ private:
+  HealthIncident incident_;
+};
+
+class HealthMonitor final : public TrainingObserver {
+ public:
+  explicit HealthMonitor(HealthConfig config = {},
+                         MetricsRegistry* registry = nullptr);
+
+  void on_run_start(const RunInfo& info) override;
+  void on_client_result(std::size_t round, const ClientResult& result) override;
+  void on_aggregate(std::size_t round,
+                    std::span<const double> weights) override;
+  void on_round_end(const RoundMetrics& metrics,
+                    const RoundTrace& trace) override;
+
+  bool healthy() const { return incidents_.empty(); }
+  const std::vector<HealthIncident>& incidents() const { return incidents_; }
+  // "health: N incident(s)" header plus one line per incident; empty
+  // string when healthy.
+  std::string report() const;
+
+ private:
+  void record(HealthIncident incident, bool fatal);
+  void check_loss(std::size_t round, double loss);
+
+  HealthConfig config_;
+  MetricsRegistry* registry_;
+  std::vector<HealthIncident> incidents_;
+  // Devices whose update went non-finite in the current round; consumed
+  // by on_aggregate to name suspects, cleared at on_round_end.
+  std::vector<std::size_t> round_suspects_;
+  std::vector<double> recent_losses_;  // median window, oldest first
+  double best_loss_ = 0.0;
+  bool has_best_loss_ = false;
+  std::size_t evals_since_improvement_ = 0;
+  bool stall_reported_ = false;
+};
+
+}  // namespace fed

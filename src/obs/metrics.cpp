@@ -182,4 +182,22 @@ void MetricsObserver::on_round_end(const RoundMetrics& metrics,
   round_seconds_.observe(trace.round_seconds);
 }
 
+void record_pool_stats(const ThreadPool& pool, MetricsRegistry& registry) {
+  const auto stats = pool.worker_stats();
+  double busy_total = 0.0;
+  double wait_total = 0.0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const std::string prefix = "fed_pool_worker_" + std::to_string(i);
+    registry.gauge(prefix + "_tasks")
+        .set(static_cast<double>(stats[i].tasks_executed));
+    registry.gauge(prefix + "_busy_seconds").set(stats[i].busy_seconds);
+    registry.gauge(prefix + "_queue_wait_seconds")
+        .set(stats[i].queue_wait_seconds);
+    busy_total += stats[i].busy_seconds;
+    wait_total += stats[i].queue_wait_seconds;
+  }
+  registry.gauge("fed_pool_busy_seconds").set(busy_total);
+  registry.gauge("fed_pool_queue_wait_seconds").set(wait_total);
+}
+
 }  // namespace fed

@@ -134,4 +134,11 @@ class MetricsObserver final : public TrainingObserver {
   Histogram& solve_seconds_;
 };
 
+// Snapshots a pool's per-worker counters into utilization gauges:
+//   fed_pool_worker_<i>_tasks / _busy_seconds / _queue_wait_seconds
+// plus fed_pool_busy_seconds and fed_pool_queue_wait_seconds totals.
+// Busy/wait accumulate only while the span profiler is enabled
+// (support/threadpool.h); call after the instrumented run.
+void record_pool_stats(const ThreadPool& pool, MetricsRegistry& registry);
+
 }  // namespace fed

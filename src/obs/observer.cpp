@@ -20,6 +20,11 @@ void CompositeObserver::on_client_result(std::size_t round,
   for (auto* child : children_) child->on_client_result(round, result);
 }
 
+void CompositeObserver::on_aggregate(std::size_t round,
+                                     std::span<const double> weights) {
+  for (auto* child : children_) child->on_aggregate(round, weights);
+}
+
 void CompositeObserver::on_round_end(const RoundMetrics& metrics,
                                      const RoundTrace& trace) {
   for (auto* child : children_) child->on_round_end(metrics, trace);

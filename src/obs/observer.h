@@ -1,10 +1,12 @@
 // Structured training observation: the Trainer's public telemetry API.
 //
-// A TrainingObserver replaces the old single RoundCallback with typed
-// hooks for every stage of a run. The Trainer invokes observers from the
-// round thread only — never from ThreadPool workers — in registration
-// order, so attaching observers cannot perturb the (seed, round, device)
-// determinism contract. Observers must not mutate training state.
+// A TrainingObserver provides typed hooks for every stage of a run. The
+// Trainer invokes observers from the round thread only — never from
+// ThreadPool workers — in registration order, so attaching observers
+// cannot perturb the (seed, round, device) determinism contract.
+// Observers must be registered before Trainer::run starts and must not
+// mutate training state (a health observer may abort the run by
+// throwing; see obs/health.h).
 //
 //   struct Printer : TrainingObserver {
 //     void on_round_end(const RoundMetrics& m, const RoundTrace&) override {
@@ -15,12 +17,10 @@
 //   trainer.add_observer(printer);
 //
 // CompositeObserver stacks metrics, tracing, live printing, and
-// checkpointing hooks behind a single registration; CallbackObserver
-// adapts the legacy std::function<void(const RoundMetrics&)> shape.
+// checkpointing hooks behind a single registration.
 
 #pragma once
 
-#include <functional>
 #include <span>
 #include <string>
 
@@ -64,6 +64,15 @@ class TrainingObserver {
     (void)result;
   }
 
+  // After aggregation updates the global parameters, before evaluation.
+  // `weights` views the live parameter vector; observers must copy what
+  // they keep and must not hold the span past the hook.
+  virtual void on_aggregate(std::size_t round,
+                            std::span<const double> weights) {
+    (void)round;
+    (void)weights;
+  }
+
   // After each round's metrics are recorded — including the round-0
   // evaluation record, matching the old RoundCallback cadence.
   virtual void on_round_end(const RoundMetrics& metrics,
@@ -87,30 +96,14 @@ class CompositeObserver final : public TrainingObserver {
   void on_round_start(std::size_t round,
                       std::span<const std::size_t> selected) override;
   void on_client_result(std::size_t round, const ClientResult& result) override;
+  void on_aggregate(std::size_t round,
+                    std::span<const double> weights) override;
   void on_round_end(const RoundMetrics& metrics,
                     const RoundTrace& trace) override;
   void on_run_end(const TrainHistory& history) override;
 
  private:
   std::vector<TrainingObserver*> children_;
-};
-
-// Adapter for the legacy per-round callback shape; kept for one release
-// so downstream code migrates at its own pace.
-class CallbackObserver final : public TrainingObserver {
- public:
-  using Callback = std::function<void(const RoundMetrics&)>;
-  explicit CallbackObserver(Callback callback)
-      : callback_(std::move(callback)) {}
-
-  void on_round_end(const RoundMetrics& metrics,
-                    const RoundTrace& trace) override {
-    (void)trace;
-    if (callback_) callback_(metrics);
-  }
-
- private:
-  Callback callback_;
 };
 
 // Collects every trace of a run; handy for tests and benchmarks.

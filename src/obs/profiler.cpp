@@ -1,0 +1,97 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+
+namespace fed {
+
+std::atomic<bool> Profiler::enabled_{false};
+
+Profiler& Profiler::instance() {
+  static Profiler* profiler = new Profiler();  // never destroyed: threads
+  return *profiler;                            // may outlive static dtors
+}
+
+Profiler::Profiler() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Profiler::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Profiler::ThreadBuffer& Profiler::local_buffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (!buffer) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    std::lock_guard lock(registry_mutex_);
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffer->name = "thread-" + std::to_string(buffer->tid);
+    buffers_.push_back(std::move(owned));
+  }
+  return *buffer;
+}
+
+void Profiler::set_thread_name(std::string name) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock(buffer.mutex);
+  buffer.name = std::move(name);
+}
+
+void Profiler::record(const ProfileEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock(buffer.mutex);
+  ProfileEvent& stored = buffer.events.emplace_back(event);
+  stored.tid = buffer.tid;
+}
+
+Profiler::Snapshot Profiler::drain() {
+  Snapshot snapshot;
+  {
+    std::lock_guard registry_lock(registry_mutex_);
+    for (auto& buffer : buffers_) {
+      std::lock_guard lock(buffer->mutex);
+      snapshot.threads.emplace_back(buffer->tid, buffer->name);
+      snapshot.events.insert(snapshot.events.end(), buffer->events.begin(),
+                             buffer->events.end());
+      buffer->events.clear();
+    }
+  }
+  std::stable_sort(snapshot.events.begin(), snapshot.events.end(),
+                   [](const ProfileEvent& a, const ProfileEvent& b) {
+                     if (a.start_us != b.start_us) {
+                       return a.start_us < b.start_us;
+                     }
+                     return a.dur_us > b.dur_us;  // parents before children
+                   });
+  return snapshot;
+}
+
+void Profiler::discard() {
+  std::lock_guard registry_lock(registry_mutex_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+void Span::begin(const char* name, const char* category) {
+  event_.name = name;
+  event_.category = category;
+  event_.type = ProfileEvent::Type::kComplete;
+  event_.start_us = Profiler::instance().now_us();
+  active_ = true;
+}
+
+void Span::finish() {
+  if (!active_) return;
+  active_ = false;
+  // Record even if the profiler was disabled mid-span, so every begun
+  // span completes and drained traces never hold half-open events.
+  Profiler& profiler = Profiler::instance();
+  event_.dur_us = profiler.now_us() - event_.start_us;
+  profiler.record(event_);
+}
+
+}  // namespace fed

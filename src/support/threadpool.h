@@ -2,13 +2,23 @@
 // round in parallel. The simulation stays deterministic because every
 // client draws from its own (seed, round, device)-keyed RNG stream; the
 // pool only changes wall-clock time, never results.
+//
+// Workers register named profiler tracks ("pool-0", "pool-1", ...); when
+// the span profiler is enabled each task records its queue wait (async
+// "b"/"e" pair — waits overlap, so they are not X spans) and an
+// execution span, and per-worker busy/wait totals accumulate for
+// utilization gauges (worker_stats). With the profiler disabled the only
+// added cost per task is one relaxed atomic load.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -34,11 +44,32 @@ class ThreadPool {
   // Exceptions from tasks are rethrown (the first one encountered).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Per-worker execution counters. tasks_executed always counts;
+  // busy/wait seconds accumulate only while the profiler is enabled.
+  struct WorkerStats {
+    std::uint64_t tasks_executed = 0;
+    double busy_seconds = 0.0;
+    double queue_wait_seconds = 0.0;
+  };
+  std::vector<WorkerStats> worker_stats() const;
+
  private:
-  void worker_loop();
+  struct Task {
+    std::packaged_task<void()> work;
+    std::uint64_t enqueue_us = 0;  // 0 = profiler was off at submit time
+  };
+  // Written only by the owning worker; read by worker_stats().
+  struct WorkerCounters {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_us{0};
+    std::atomic<std::uint64_t> wait_us{0};
+  };
+
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::vector<std::unique_ptr<WorkerCounters>> counters_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -6,6 +6,11 @@
 #include <limits>
 #include <stdexcept>
 
+// Kernel spans compile to nothing unless -DFEDPROX_PROFILE_KERNELS=ON;
+// these run per minibatch, so release benches must not even pay the
+// enabled check (obs/profiler.h).
+#include "obs/profiler.h"
+
 namespace fed {
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
@@ -78,6 +83,9 @@ void gemv(const ConstMatrixView& a, std::span<const double> x,
 void gemv_accumulate(const ConstMatrixView& a, std::span<const double> x,
                      std::span<double> y) {
   assert(x.size() == a.cols() && y.size() == a.rows());
+  FED_PROFILE_KERNEL_SPAN("gemv", "kernel", "m",
+                          static_cast<std::int64_t>(a.rows()), "n",
+                          static_cast<std::int64_t>(a.cols()));
   for (std::size_t r = 0; r < a.rows(); ++r) {
     y[r] += dot(a.row(r), x);
   }
@@ -93,6 +101,9 @@ void gemv_transposed_accumulate(const ConstMatrixView& a,
                                 std::span<const double> x,
                                 std::span<double> y) {
   assert(x.size() == a.rows() && y.size() == a.cols());
+  FED_PROFILE_KERNEL_SPAN("gemv_t", "kernel", "m",
+                          static_cast<std::int64_t>(a.rows()), "n",
+                          static_cast<std::int64_t>(a.cols()));
   for (std::size_t r = 0; r < a.rows(); ++r) {
     axpy(x[r], a.row(r), y);
   }
@@ -102,6 +113,10 @@ void gemm(const ConstMatrixView& a, const ConstMatrixView& b, MatrixView c) {
   if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
     throw std::invalid_argument("gemm: shape mismatch");
   }
+  FED_PROFILE_KERNEL_SPAN("gemm", "kernel", "m",
+                          static_cast<std::int64_t>(a.rows()), "k",
+                          static_cast<std::int64_t>(a.cols()), "n",
+                          static_cast<std::int64_t>(b.cols()));
   zero(c.flat());
   // ikj order: streams over B and C rows; cache-friendly for row-major.
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -117,6 +132,9 @@ void gemm(const ConstMatrixView& a, const ConstMatrixView& b, MatrixView c) {
 void ger(double alpha, std::span<const double> x, std::span<const double> y,
          MatrixView a) {
   assert(x.size() == a.rows() && y.size() == a.cols());
+  FED_PROFILE_KERNEL_SPAN("ger", "kernel", "m",
+                          static_cast<std::int64_t>(a.rows()), "n",
+                          static_cast<std::int64_t>(a.cols()));
   for (std::size_t r = 0; r < a.rows(); ++r) {
     axpy(alpha * x[r], y, a.row(r));
   }

@@ -1,0 +1,213 @@
+// HealthMonitor contract: silent on clean runs, fatal with a useful
+// report when a client update goes non-finite, and loss blow-up / stall
+// detection on the evaluated loss stream.
+
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "obs/metrics.h"
+#include "optim/sgd.h"
+#include "support/log.h"
+
+namespace fed {
+namespace {
+
+class HealthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kWarn); }
+
+  static const FederatedDataset& data() {
+    static const FederatedDataset d = [] {
+      SyntheticConfig c = synthetic_config(0.5, 0.5, 29);
+      c.num_devices = 6;
+      c.min_samples = 12;
+      c.mean_log = 2.5;
+      c.sigma_log = 0.4;
+      return make_synthetic(c);
+    }();
+    return d;
+  }
+
+  static TrainerConfig config() {
+    TrainerConfig c = fedprox_config(0.5);
+    c.rounds = 4;
+    c.devices_per_round = data().num_clients();  // select everyone
+    c.systems.epochs = 2;
+    c.systems.straggler_fraction = 0.0;
+    c.learning_rate = 0.03;
+    c.seed = 29;
+    c.eval_every = 1;
+    return c;
+  }
+
+  // Feeds an evaluated loss straight into the monitor's round-end hook.
+  static void feed_loss(HealthMonitor& monitor, std::size_t round,
+                        double loss) {
+    RoundMetrics metrics;
+    metrics.round = round;
+    metrics.train_loss = loss;
+    metrics.train_accuracy = 0.5;
+    metrics.test_accuracy = 0.5;
+    monitor.on_round_end(metrics, RoundTrace{});
+  }
+};
+
+// Delegates to SGD but poisons the update of one target device (matched
+// by its training-set address) from `poison_round` on.
+class PoisoningSolver final : public LocalSolver {
+ public:
+  PoisoningSolver(const Dataset* target, std::size_t poison_round)
+      : target_(target), poison_round_(poison_round) {}
+
+  std::string name() const override { return "poisoning_sgd"; }
+
+  void solve(const LocalProblem& problem, const SolveBudget& budget, Rng& rng,
+             std::span<double> w) const override {
+    inner_.solve(problem, budget, rng, w);
+    rounds_seen_ += (problem.data == target_);
+    if (problem.data == target_ && rounds_seen_ >= poison_round_) {
+      w[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+ private:
+  SgdSolver inner_;
+  const Dataset* target_;
+  std::size_t poison_round_;
+  mutable std::size_t rounds_seen_ = 0;
+};
+
+TEST_F(HealthTest, CleanRunStaysSilent) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  Trainer trainer(model, data(), config());
+  MetricsRegistry registry;
+  HealthMonitor health(HealthConfig{}, &registry);
+  trainer.add_observer(health);
+  trainer.run();
+
+  EXPECT_TRUE(health.healthy());
+  EXPECT_TRUE(health.incidents().empty());
+  EXPECT_EQ(health.report(), "");
+  EXPECT_EQ(registry.counter("health_incidents_total").value(), 0u);
+}
+
+TEST_F(HealthTest, InjectedNaNAbortsNamingRoundAndDevice) {
+  constexpr std::size_t kTarget = 2;
+  constexpr std::size_t kPoisonRound = 2;
+  LogisticRegression model(data().input_dim, data().num_classes);
+  auto cfg = config();
+  cfg.solver = std::make_shared<PoisoningSolver>(
+      &data().clients[kTarget].train, kPoisonRound);
+  Trainer trainer(model, data(), cfg);
+  MetricsRegistry registry;
+  HealthMonitor health(HealthConfig{}, &registry);
+  trainer.add_observer(health);
+
+  try {
+    trainer.run();
+    FAIL() << "expected HealthError";
+  } catch (const HealthError& error) {
+    // The fatal incident is the poisoned aggregate, naming the device
+    // whose update went non-finite and the round it happened in.
+    EXPECT_EQ(error.incident().kind, HealthIncident::Kind::kNonFiniteWeights);
+    EXPECT_EQ(error.incident().round, kPoisonRound);
+    ASSERT_TRUE(error.incident().device.has_value());
+    EXPECT_EQ(*error.incident().device, kTarget);
+    const std::string report = error.what();
+    EXPECT_NE(report.find("nonfinite_weights"), std::string::npos);
+    EXPECT_NE(report.find("device " + std::to_string(kTarget)),
+              std::string::npos);
+    EXPECT_NE(report.find("round " + std::to_string(kPoisonRound)),
+              std::string::npos);
+  }
+
+  // Both the client-update incident and the aggregate incident counted.
+  EXPECT_EQ(registry.counter("health_incidents_total").value(), 2u);
+  EXPECT_EQ(
+      registry.counter("health_nonfinite_client_update_total").value(), 1u);
+  EXPECT_EQ(registry.counter("health_nonfinite_weights_total").value(), 1u);
+}
+
+TEST_F(HealthTest, LossBlowupRecordedAgainstRunningMedian) {
+  MetricsRegistry registry;
+  HealthConfig cfg;
+  cfg.blowup_factor = 10.0;
+  HealthMonitor health(cfg, &registry);
+  for (std::size_t round = 1; round <= 5; ++round) {
+    feed_loss(health, round, 1.0);
+  }
+  EXPECT_TRUE(health.healthy());
+  feed_loss(health, 6, 1000.0);  // 1000x the median of all-ones
+
+  ASSERT_EQ(health.incidents().size(), 1u);
+  const HealthIncident& incident = health.incidents().front();
+  EXPECT_EQ(incident.kind, HealthIncident::Kind::kLossBlowup);
+  EXPECT_EQ(incident.round, 6u);
+  EXPECT_NEAR(incident.value, 1000.0, 1e-9);
+  EXPECT_EQ(registry.counter("health_loss_blowup_total").value(), 1u);
+  EXPECT_NE(health.report().find("loss_blowup"), std::string::npos);
+}
+
+TEST_F(HealthTest, LossBlowupCanBeFatal) {
+  HealthConfig cfg;
+  cfg.blowup_factor = 10.0;
+  cfg.abort_on_blowup = true;
+  HealthMonitor health(cfg);
+  feed_loss(health, 1, 1.0);
+  feed_loss(health, 2, 1.0);
+  EXPECT_THROW(feed_loss(health, 3, 100.0), HealthError);
+}
+
+TEST_F(HealthTest, NonFiniteEvaluatedLossIsFatal) {
+  HealthMonitor health;
+  feed_loss(health, 1, 0.7);
+  EXPECT_THROW(
+      feed_loss(health, 2, std::numeric_limits<double>::quiet_NaN()),
+      HealthError);
+  ASSERT_EQ(health.incidents().size(), 1u);
+  EXPECT_EQ(health.incidents().front().kind,
+            HealthIncident::Kind::kNonFiniteLoss);
+}
+
+TEST_F(HealthTest, StallReportedOnceAfterPatienceRunsOut) {
+  HealthConfig cfg;
+  cfg.stall_patience = 3;
+  HealthMonitor health(cfg);
+  feed_loss(health, 1, 1.0);
+  for (std::size_t round = 2; round <= 10; ++round) {
+    feed_loss(health, round, 1.0);  // never improves
+  }
+  ASSERT_EQ(health.incidents().size(), 1u);
+  const HealthIncident& incident = health.incidents().front();
+  EXPECT_EQ(incident.kind, HealthIncident::Kind::kStalledConvergence);
+  EXPECT_EQ(incident.round, 4u);  // patience of 3 exhausted at round 4
+
+  // Improvement resets the streak and re-arms detection.
+  feed_loss(health, 11, 0.5);
+  for (std::size_t round = 12; round <= 15; ++round) {
+    feed_loss(health, round, 0.5);
+  }
+  EXPECT_EQ(health.incidents().size(), 2u);
+}
+
+TEST_F(HealthTest, RunStartResetsState) {
+  HealthMonitor health;
+  feed_loss(health, 1, 1.0);
+  feed_loss(health, 2, 1.0);
+  health.on_run_start(RunInfo{});
+  // A fresh run has no median history, so a big first loss is fine.
+  feed_loss(health, 1, 500.0);
+  EXPECT_TRUE(health.healthy());
+}
+
+}  // namespace
+}  // namespace fed

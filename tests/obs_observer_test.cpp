@@ -1,10 +1,11 @@
 // Observer API contract: hook cadence and ordering through a real
-// Trainer run, composite fan-out, and the legacy-callback adapter.
+// Trainer run, composite fan-out, and registration-time guarantees.
 
 #include "obs/observer.h"
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -185,16 +186,61 @@ TEST_F(ObserverTest, MultipleObserversSeeIdenticalCadence) {
   EXPECT_EQ(a.events, b.events);
 }
 
-TEST_F(ObserverTest, CallbackObserverAdaptsLegacyShape) {
+TEST_F(ObserverTest, ObserversFireInRegistrationOrderThroughTrainer) {
   LogisticRegression model(data().input_dim, data().num_classes);
   Trainer trainer(model, data(), config());
-  std::vector<std::size_t> seen;
-  CallbackObserver adapter(
-      [&](const RoundMetrics& m) { seen.push_back(m.round); });
-  trainer.add_observer(adapter);
+  std::vector<int> order;
+  struct Tagger : TrainingObserver {
+    Tagger(std::vector<int>& order, int tag) : order(order), tag(tag) {}
+    void on_round_end(const RoundMetrics&, const RoundTrace&) override {
+      order.push_back(tag);
+    }
+    std::vector<int>& order;
+    int tag;
+  };
+  Tagger first(order, 1), second(order, 2), third(order, 3);
+  trainer.add_observer(first);
+  trainer.add_observer(second);
+  trainer.add_observer(third);
   trainer.run();
-  ASSERT_EQ(seen.size(), kRounds + 1);
-  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+
+  // Every round-end fans out 1, 2, 3 in registration order.
+  ASSERT_EQ(order.size(), 3 * (kRounds + 1));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i % 3) + 1);
+  }
+}
+
+TEST_F(ObserverTest, OnAggregateSeesEveryTrainingRound) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  Trainer trainer(model, data(), config());
+  struct AggregateRecorder : TrainingObserver {
+    std::vector<std::size_t> rounds;
+    std::size_t dimension = 0;
+    void on_aggregate(std::size_t round,
+                      std::span<const double> weights) override {
+      rounds.push_back(round);
+      dimension = weights.size();
+    }
+  } rec;
+  trainer.add_observer(rec);
+  trainer.run();
+
+  // One aggregation per training round (round 0 is evaluation only),
+  // exposing the live global parameter vector.
+  ASSERT_EQ(rec.rounds.size(), kRounds);
+  for (std::size_t t = 0; t < kRounds; ++t) EXPECT_EQ(rec.rounds[t], t + 1);
+  EXPECT_EQ(rec.dimension, model.parameter_count());
+}
+
+TEST_F(ObserverTest, AddObserverAfterRunStartThrows) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  auto c = config();
+  c.rounds = 1;
+  Trainer trainer(model, data(), c);
+  RecordingObserver late;
+  trainer.run();
+  EXPECT_THROW(trainer.add_observer(late), std::logic_error);
 }
 
 TEST_F(ObserverTest, TraceCollectorGathersOneTracePerRecord) {

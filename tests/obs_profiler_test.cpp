@@ -1,0 +1,272 @@
+// Span profiler contract: no events while disabled, per-thread nesting,
+// Chrome trace-event export shape, the span hierarchy a real Trainer run
+// emits, and the pool utilization gauges.
+
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "support/json.h"
+#include "support/log.h"
+#include "support/threadpool.h"
+
+namespace fed {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kWarn); }
+
+  // The profiler is process-wide; make each test start from a clean,
+  // disabled state whatever ran before it.
+  void SetUp() override {
+    Profiler::instance().disable();
+    Profiler::instance().discard();
+  }
+  void TearDown() override {
+    Profiler::instance().disable();
+    Profiler::instance().discard();
+  }
+
+  static const FederatedDataset& data() {
+    static const FederatedDataset d = [] {
+      SyntheticConfig c = synthetic_config(0.5, 0.5, 23);
+      c.num_devices = 8;
+      c.min_samples = 12;
+      c.mean_log = 2.5;
+      c.sigma_log = 0.4;
+      return make_synthetic(c);
+    }();
+    return d;
+  }
+
+  static TrainerConfig config() {
+    TrainerConfig c = fedprox_config(0.5);
+    c.rounds = 3;
+    c.devices_per_round = 4;
+    c.systems.epochs = 2;
+    c.systems.straggler_fraction = 0.5;
+    c.learning_rate = 0.03;
+    c.seed = 23;
+    c.eval_every = 1;
+    c.threads = 2;
+    return c;
+  }
+
+  static Profiler::Snapshot run_profiled_trainer() {
+    LogisticRegression model(data().input_dim, data().num_classes);
+    Trainer trainer(model, data(), config());
+    Profiler::instance().set_thread_name("main");
+    Profiler::instance().enable();
+    trainer.run();
+    Profiler::instance().disable();
+    return Profiler::instance().drain();
+  }
+};
+
+TEST_F(ProfilerTest, DisabledProfilerRecordsNothing) {
+  {
+    Span outer("outer", "test");
+    Span inner("inner", "test", "value", 7);
+    EXPECT_FALSE(outer.active());
+    EXPECT_FALSE(inner.active());
+  }
+  EXPECT_TRUE(Profiler::instance().drain().events.empty());
+}
+
+TEST_F(ProfilerTest, SpansNestAndCarryArgs) {
+  Profiler::instance().enable();
+  {
+    Span outer("outer", "test", "round", 3);
+    {
+      Span inner("inner", "test", "device", 5, "iterations", 40);
+    }
+  }
+  Profiler::instance().disable();
+
+  const auto snapshot = Profiler::instance().drain();
+  ASSERT_EQ(snapshot.events.size(), 2u);
+  // Drain orders parents before the children they contain.
+  const ProfileEvent& outer = snapshot.events[0];
+  const ProfileEvent& inner = snapshot.events[1];
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_EQ(outer.tid, inner.tid);
+  EXPECT_LE(outer.start_us, inner.start_us);
+  EXPECT_GE(outer.start_us + outer.dur_us, inner.start_us + inner.dur_us);
+  ASSERT_EQ(outer.num_args, 1);
+  EXPECT_STREQ(outer.arg_names[0], "round");
+  EXPECT_EQ(outer.arg_values[0], 3);
+  ASSERT_EQ(inner.num_args, 2);
+  EXPECT_STREQ(inner.arg_names[0], "device");
+  EXPECT_EQ(inner.arg_values[0], 5);
+  EXPECT_STREQ(inner.arg_names[1], "iterations");
+  EXPECT_EQ(inner.arg_values[1], 40);
+}
+
+TEST_F(ProfilerTest, ChromeTraceJsonRoundTripsThroughParser) {
+  Profiler::instance().set_thread_name("main");
+  Profiler::instance().enable();
+  {
+    Span span("unit_span", "test", "x", 1);
+  }
+  Profiler::instance().disable();
+
+  const JsonValue doc = chrome_trace_json(Profiler::instance().drain());
+  // Serialize + reparse: the artifact a tool would actually read.
+  const JsonValue parsed = parse_json(serialize_json(doc));
+  ASSERT_TRUE(parsed.contains("traceEvents"));
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+
+  bool saw_process_name = false, saw_main_thread = false, saw_span = false;
+  for (const JsonValue& event : parsed.at("traceEvents").as_array()) {
+    const std::string& name = event.at("name").as_string();
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "M" && name == "process_name") saw_process_name = true;
+    if (ph == "M" && name == "thread_name" &&
+        event.at("args").at("name").as_string() == "main") {
+      saw_main_thread = true;
+    }
+    if (ph == "X" && name == "unit_span") {
+      saw_span = true;
+      EXPECT_GE(event.at("dur").as_number(), 0.0);
+      EXPECT_EQ(event.at("args").at("x").as_number(), 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_main_thread);
+  EXPECT_TRUE(saw_span);
+}
+
+TEST_F(ProfilerTest, TrainerRunEmitsTheDocumentedSpanHierarchy) {
+  const auto snapshot = run_profiled_trainer();
+
+  std::set<std::string> names;
+  for (const ProfileEvent& e : snapshot.events) {
+    if (e.type == ProfileEvent::Type::kComplete) names.insert(e.name);
+  }
+  for (const char* required :
+       {"run", "round", "sampling", "solve_parallel", "aggregate", "eval",
+        "client_solve", "local_epoch", "task"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span: " << required;
+  }
+
+  // Worker threads register named tracks.
+  bool saw_pool_thread = false;
+  for (const auto& [tid, name] : snapshot.threads) {
+    if (name.rfind("pool-", 0) == 0) saw_pool_thread = true;
+  }
+  EXPECT_TRUE(saw_pool_thread);
+
+  // Every client_solve carries round/device args.
+  std::size_t client_solves = 0;
+  for (const ProfileEvent& e : snapshot.events) {
+    if (e.type != ProfileEvent::Type::kComplete ||
+        std::string(e.name) != "client_solve") {
+      continue;
+    }
+    ++client_solves;
+    ASSERT_EQ(e.num_args, 3);
+    EXPECT_STREQ(e.arg_names[0], "round");
+    EXPECT_STREQ(e.arg_names[1], "device");
+  }
+  EXPECT_EQ(client_solves, config().rounds * config().devices_per_round);
+}
+
+TEST_F(ProfilerTest, CompleteEventsNestPerThreadAndAsyncPairsMatch) {
+  const auto snapshot = run_profiled_trainer();
+
+  // X events: stack check per thread (drain order is parent-first).
+  std::map<std::uint32_t, std::vector<const ProfileEvent*>> by_tid;
+  std::map<std::uint64_t, int> async_open;
+  for (const ProfileEvent& e : snapshot.events) {
+    switch (e.type) {
+      case ProfileEvent::Type::kComplete: by_tid[e.tid].push_back(&e); break;
+      case ProfileEvent::Type::kAsyncBegin: ++async_open[e.id]; break;
+      case ProfileEvent::Type::kAsyncEnd: --async_open[e.id]; break;
+    }
+  }
+  for (const auto& [tid, events] : by_tid) {
+    std::vector<std::uint64_t> open_ends;
+    for (const ProfileEvent* e : events) {
+      while (!open_ends.empty() && open_ends.back() <= e->start_us) {
+        open_ends.pop_back();
+      }
+      const std::uint64_t end = e->start_us + e->dur_us;
+      if (!open_ends.empty()) {
+        EXPECT_LE(end, open_ends.back())
+            << "span " << e->name << " overlaps without nesting on tid "
+            << tid;
+      }
+      open_ends.push_back(end);
+    }
+  }
+  for (const auto& [id, open] : async_open) {
+    EXPECT_EQ(open, 0) << "unbalanced async pair id " << id;
+  }
+}
+
+TEST_F(ProfilerTest, ProfilingDoesNotChangeTrainingResults) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  const TrainHistory plain = Trainer(model, data(), config()).run();
+  Profiler::instance().enable();
+  const TrainHistory profiled = Trainer(model, data(), config()).run();
+  Profiler::instance().disable();
+  Profiler::instance().discard();
+
+  ASSERT_EQ(plain.final_parameters.size(), profiled.final_parameters.size());
+  for (std::size_t i = 0; i < plain.final_parameters.size(); ++i) {
+    EXPECT_EQ(plain.final_parameters[i], profiled.final_parameters[i]);
+  }
+}
+
+TEST_F(ProfilerTest, RecordPoolStatsExposesWorkerGauges) {
+  ThreadPool pool(2);
+  Profiler::instance().enable();
+  pool.parallel_for(8, [](std::size_t) {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  });
+  Profiler::instance().disable();
+
+  MetricsRegistry registry;
+  record_pool_stats(pool, registry);
+  double tasks = 0.0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const std::string prefix = "fed_pool_worker_" + std::to_string(i);
+    tasks += registry.gauge(prefix + "_tasks").value();
+    EXPECT_GE(registry.gauge(prefix + "_busy_seconds").value(), 0.0);
+    EXPECT_GE(registry.gauge(prefix + "_queue_wait_seconds").value(), 0.0);
+  }
+  EXPECT_GE(tasks, 8.0);
+  EXPECT_GE(registry.gauge("fed_pool_busy_seconds").value(), 0.0);
+  EXPECT_GE(registry.gauge("fed_pool_queue_wait_seconds").value(), 0.0);
+}
+
+TEST_F(ProfilerTest, KernelSpanMacroMatchesBuildMode) {
+  Profiler::instance().enable();
+  {
+    FED_PROFILE_KERNEL_SPAN("kernel_probe", "kernel");
+  }
+  Profiler::instance().disable();
+  const auto snapshot = Profiler::instance().drain();
+  std::size_t kernel_events = 0;
+  for (const ProfileEvent& e : snapshot.events) {
+    if (std::string(e.name) == "kernel_probe") ++kernel_events;
+  }
+  EXPECT_EQ(kernel_events, kProfileKernels ? 1u : 0u);
+}
+
+}  // namespace
+}  // namespace fed

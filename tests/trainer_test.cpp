@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "data/synthetic.h"
 #include "nn/logistic.h"
 #include "obs/observer.h"
@@ -197,18 +199,17 @@ TEST_F(TrainerTest, FedDaneRunsAndRecords) {
   EXPECT_FALSE(history.diverged());
 }
 
-TEST_F(TrainerTest, RoundCallbackAdapterInvokedPerRound) {
-  // The RoundCallback adapter must keep the old cadence: one call per
-  // history record (round 0 + each training round).
+TEST_F(TrainerTest, AddObserverAfterRunStartThrows) {
+  // Late registration would skip on_run_start and break ordering, so the
+  // trainer rejects it once run() has begun.
   LogisticRegression model(iid_data().input_dim, iid_data().num_classes);
   auto config = small_config(Algorithm::kFedProx, 0.0, 0.0);
-  config.rounds = 4;
+  config.rounds = 2;
   Trainer trainer(model, iid_data(), config);
-  std::size_t calls = 0;
-  CallbackObserver adapter([&](const RoundMetrics&) { ++calls; });
-  trainer.add_observer(adapter);
+  struct Noop : TrainingObserver {} before, after;
+  trainer.add_observer(before);  // pre-run registration is fine
   trainer.run();
-  EXPECT_EQ(calls, 5u);
+  EXPECT_THROW(trainer.add_observer(after), std::logic_error);
 }
 
 TEST_F(TrainerTest, ValidatesConfig) {

@@ -1,0 +1,194 @@
+// Validates the two observability artifacts a run can produce:
+//
+//   trace_lint --jsonl run.jsonl         # JSONL round trace (obs/trace_sink)
+//   trace_lint --chrome run.trace.json   # Chrome trace-event span profile
+//
+// JSONL checks: every line parses as a JSON object, the first line is the
+// run header ({"run":{...}}), and every later line carries a "round".
+// Chrome checks: the document parses, traceEvents is non-empty, "X"
+// events nest properly per thread (a stack check over ts/dur), async
+// "b"/"e" pairs match up by id, the run/round/client_solve spans are
+// present, and at least one thread is named "pool-<i>".
+//
+// Exits non-zero with a message on the first failed check; used by the
+// quickstart observability smoke test (examples/CMakeLists.txt).
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.h"
+#include "support/json.h"
+
+namespace {
+
+using fed::JsonValue;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "trace_lint: " << message << "\n";
+  std::exit(1);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void lint_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t rounds = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue value;
+    try {
+      value = fed::parse_json(line);
+    } catch (const std::exception& e) {
+      fail(path + ":" + std::to_string(lineno) + ": parse error: " + e.what());
+    }
+    if (!value.is_object()) {
+      fail(path + ":" + std::to_string(lineno) + ": line is not an object");
+    }
+    if (lineno == 1) {
+      if (!value.contains("run")) {
+        fail(path + ":1: header line lacks \"run\"");
+      }
+    } else if (!value.contains("round")) {
+      fail(path + ":" + std::to_string(lineno) + ": line lacks \"round\"");
+    } else {
+      ++rounds;
+    }
+  }
+  if (lineno == 0) fail(path + ": empty file");
+  if (rounds == 0) fail(path + ": no round lines after the header");
+  std::cout << "trace_lint: " << path << " ok (" << rounds
+            << " round lines)\n";
+}
+
+struct XEvent {
+  double ts = 0.0;
+  double dur = 0.0;
+  std::string name;
+};
+
+void check_nesting(std::size_t tid, std::vector<XEvent>& events) {
+  // Parent-before-child order: earlier start first, longer span first on
+  // ties (matches the profiler's drain order).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const XEvent& a, const XEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.dur > b.dur;
+                   });
+  std::vector<double> open_ends;  // stack of enclosing spans' end times
+  for (const XEvent& e : events) {
+    while (!open_ends.empty() && open_ends.back() <= e.ts) {
+      open_ends.pop_back();
+    }
+    const double end = e.ts + e.dur;
+    if (!open_ends.empty() && end > open_ends.back()) {
+      std::ostringstream msg;
+      msg << "tid " << tid << ": X event \"" << e.name << "\" [" << e.ts
+          << ", " << end << ") overlaps but does not nest inside enclosing "
+          << "span ending at " << open_ends.back();
+      fail(msg.str());
+    }
+    open_ends.push_back(end);
+  }
+}
+
+void lint_chrome(const std::string& path) {
+  JsonValue doc;
+  try {
+    doc = fed::parse_json(read_file(path));
+  } catch (const std::exception& e) {
+    fail(path + ": parse error: " + std::string(e.what()));
+  }
+  if (!doc.is_object() || !doc.contains("traceEvents")) {
+    fail(path + ": no traceEvents array");
+  }
+  const auto& events = doc.at("traceEvents").as_array();
+  if (events.empty()) fail(path + ": traceEvents is empty");
+
+  std::map<std::size_t, std::vector<XEvent>> x_by_tid;
+  std::map<std::size_t, std::size_t> async_open;  // id -> open "b" count
+  std::set<std::string> span_names;
+  bool pool_thread = false;
+  for (const JsonValue& ev : events) {
+    if (!ev.is_object()) fail(path + ": traceEvents entry is not an object");
+    const std::string& ph = ev.at("ph").as_string();
+    const std::string& name = ev.at("name").as_string();
+    if (ph == "M") {
+      if (name == "thread_name" &&
+          ev.at("args").at("name").as_string().rfind("pool-", 0) == 0) {
+        pool_thread = true;
+      }
+      continue;
+    }
+    const auto tid = static_cast<std::size_t>(ev.at("tid").as_number());
+    if (ph == "X") {
+      span_names.insert(name);
+      x_by_tid[tid].push_back(
+          {ev.at("ts").as_number(), ev.at("dur").as_number(), name});
+    } else if (ph == "b") {
+      ++async_open[static_cast<std::size_t>(ev.at("id").as_number())];
+    } else if (ph == "e") {
+      const auto id = static_cast<std::size_t>(ev.at("id").as_number());
+      auto it = async_open.find(id);
+      if (it == async_open.end() || it->second == 0) {
+        fail(path + ": async \"e\" event (id " + std::to_string(id) +
+             ") without a matching \"b\"");
+      }
+      --it->second;
+    } else {
+      fail(path + ": unexpected event phase \"" + ph + "\"");
+    }
+  }
+  for (const auto& [id, open] : async_open) {
+    if (open != 0) {
+      fail(path + ": async \"b\" event (id " + std::to_string(id) +
+           ") never closed");
+    }
+  }
+  for (auto& [tid, tid_events] : x_by_tid) {
+    check_nesting(tid, tid_events);
+  }
+  for (const char* required : {"run", "round", "client_solve"}) {
+    if (!span_names.count(required)) {
+      fail(path + ": missing required span \"" + std::string(required) +
+           "\"");
+    }
+  }
+  if (!pool_thread) fail(path + ": no \"pool-<i>\" thread_name metadata");
+
+  std::size_t x_total = 0;
+  for (const auto& [tid, tid_events] : x_by_tid) x_total += tid_events.size();
+  std::cout << "trace_lint: " << path << " ok (" << x_total << " X events on "
+            << x_by_tid.size() << " threads, " << span_names.size()
+            << " distinct spans)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fed::CliFlags flags(argc, argv);
+  const auto jsonl = flags.get_optional_string("jsonl");
+  const auto chrome = flags.get_optional_string("chrome");
+  if (!jsonl && !chrome) {
+    fail("usage: trace_lint [--jsonl run.jsonl] [--chrome run.trace.json]");
+  }
+  if (jsonl) lint_jsonl(*jsonl);
+  if (chrome) lint_chrome(*chrome);
+  return 0;
+}
