@@ -4,6 +4,7 @@
 #include <iostream>
 #include <map>
 
+#include "comm/transport.h"
 #include "obs/chrome_trace.h"
 #include "obs/profiler.h"
 #include "support/log.h"
@@ -25,6 +26,8 @@ BenchOptions parse_options(const CliFlags& flags) {
   options.out_dir = flags.get_string("out-dir", "bench_out");
   options.trace_out = flags.get_optional_string("trace-out").value_or("");
   options.profile_out = flags.get_optional_string("profile-out").value_or("");
+  options.transport = flags.get_string("transport", "inprocess");
+  parse_transport_kind(options.transport);  // fail fast on a bad value
   options.quick = flags.get_bool("quick", false);
   for (const auto& name : flags.unused()) {
     log_warn() << "ignoring unknown flag --" << name;
@@ -48,6 +51,7 @@ void apply_rounds(TrainerConfig& config, const Workload& workload,
   }
   config.devices_per_round =
       std::min(config.devices_per_round, workload.data.num_clients());
+  config.transport = make_transport(parse_transport_kind(options.transport));
 }
 
 TraceCapture::TraceCapture(const BenchOptions& options) {

@@ -8,6 +8,8 @@
 //   --out-dir DIR    where CSVs land (default bench_out/)
 //   --trace-out P    stream per-round JSONL phase traces to P (obs/)
 //   --profile-out P  write a Chrome trace-event span profile to P (obs/)
+//   --transport T    federation transport: inprocess (default, zero-copy)
+//                    or serialized (round-trip the binary wire format)
 //   --quick          very small run for smoke-testing the harness
 // and prints the paper-style series table to stdout plus a CSV per figure.
 
@@ -33,6 +35,7 @@ struct BenchOptions {
   std::string out_dir = "bench_out";
   std::string trace_out;            // empty = tracing disabled
   std::string profile_out;          // empty = span profiler disabled
+  std::string transport = "inprocess";  // parse_transport_kind values
   bool quick = false;
 };
 

@@ -1,12 +1,14 @@
 // Round-phase timing benchmark: where a federated round's time goes, and
 // what the observability layer costs.
 //
-// Runs FedProx on Synthetic(1,1) for 20 rounds in three modes —
+// Runs FedProx on Synthetic(1,1) for 20 rounds in four modes —
 // observer-free baseline, full observers (JSONL trace sink + collector),
-// and observers + span profiler — and writes BENCH_trainer_round.json
-// with per-phase means plus the observer and profiler overheads. The
-// JSONL trace lands next to the CSVs (override with --trace-out); pass
-// --profile-out to also keep one rep's Chrome trace.
+// observers + span profiler, and the serialized transport (every
+// broadcast/update round-trips the binary wire format) — and writes
+// BENCH_trainer_round.json with per-phase means, the observer/profiler/
+// serialization overheads, and the exact transport-measured bytes moved
+// per round. The JSONL trace lands next to the CSVs (override with
+// --trace-out); pass --profile-out to also keep one rep's Chrome trace.
 //
 //   ./bench_round_phases [--rounds 20] [--reps 3] [--stragglers 0.5]
 
@@ -14,6 +16,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "comm/transport.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
@@ -72,8 +75,12 @@ int main(int argc, char** argv) {
   double baseline = 0.0;
   double observed = 0.0;
   double profiled = 0.0;
+  double serialized = 0.0;
   std::size_t profiled_events = 0;
+  TrainerConfig serialized_config = config;
+  serialized_config.transport = make_transport(TransportKind::kSerialized);
   TraceCollector collector;
+  TraceCollector serialized_collector;
   MetricsRegistry pool_registry;
   Profiler& profiler = Profiler::instance();
   profiler.set_thread_name("main");
@@ -112,6 +119,13 @@ int main(int argc, char** argv) {
                   << options.profile_out << "\n";
       }
     }
+
+    // Serialized-transport rep: same run, every payload through the wire
+    // codecs. Its collector records the exact measured bytes per round.
+    serialized_collector.clear();
+    const double s = run_once(workload, serialized_config,
+                              &serialized_collector);
+    serialized = rep ? std::min(serialized, s) : s;
   }
 
   const auto& traces = collector.traces();
@@ -159,6 +173,24 @@ int main(int argc, char** argv) {
   out["phases"] = std::move(phases);
   out["bytes_down_total"] = summary.bytes_down;
   out["bytes_up_total"] = summary.bytes_up;
+
+  // Serialized-transport rep: wall-clock cost of round-tripping every
+  // payload through the wire codecs, plus the exact bytes it measured
+  // per round (identical to the in-process transport's analytical
+  // accounting — asserted in tests/comm_transport_test.cpp).
+  const double serialized_overhead_pct =
+      baseline > 0.0 ? 100.0 * (serialized - baseline) / baseline : 0.0;
+  out["serialized_seconds"] = serialized;
+  out["serialized_overhead_pct"] = serialized_overhead_pct;
+  JsonArray bytes_down_rounds;
+  JsonArray bytes_up_rounds;
+  for (const auto& t : serialized_collector.traces()) {
+    if (t.round == 0) continue;  // round 0 is evaluation-only
+    bytes_down_rounds.push_back(t.bytes_down);
+    bytes_up_rounds.push_back(t.bytes_up);
+  }
+  out["serialized_bytes_down_per_round"] = std::move(bytes_down_rounds);
+  out["serialized_bytes_up_per_round"] = std::move(bytes_up_rounds);
   out["trace_path"] = trace_path;
   save_json_file(json_path, JsonValue(std::move(out)));
 
@@ -178,7 +210,9 @@ int main(int argc, char** argv) {
             << "%), observers+profiler " << profiled << "s (overhead "
             << TablePrinter::fmt(profiler_overhead_pct, 2) << "%, "
             << profiled_events << " events, kernel spans "
-            << (kProfileKernels ? "compiled" : "off") << ")\nwrote "
+            << (kProfileKernels ? "compiled" : "off")
+            << "), serialized transport " << serialized << "s (overhead "
+            << TablePrinter::fmt(serialized_overhead_pct, 2) << "%)\nwrote "
             << json_path << " and " << trace_path << "\n";
   return 0;
 }

@@ -2,11 +2,13 @@
 // watch the global loss fall.
 //
 //   ./quickstart [--rounds 50] [--mu 1.0] [--stragglers 0.5]
+//                [--transport inprocess|serialized]
 //                [--trace-out trace.jsonl] [--profile-out run.trace.json]
 
 #include <iostream>
 #include <memory>
 
+#include "comm/transport.h"
 #include "core/registry.h"
 #include "core/trainer.h"
 #include "obs/chrome_trace.h"
@@ -56,10 +58,17 @@ int main(int argc, char** argv) {
   config.learning_rate = workload.learning_rate;
   config.eval_every = 5;
 
+  // --transport serialized round-trips every broadcast/update through
+  // the binary wire format (what a networked deployment would send);
+  // results are bit-identical to the default zero-copy transport.
+  const std::string transport = flags.get_string("transport", "inprocess");
+  config.transport = make_transport(parse_transport_kind(transport));
+  std::cout << "transport: " << config.transport->name() << "\n";
+
   // 3. Train, printing each evaluated round. With --trace-out a JSONL
   //    sink records per-phase wall times for every round; with
   //    --profile-out the span profiler captures nested
-  //    run -> round -> phase -> client-solve spans into a Chrome
+  //    run -> round -> phase -> exchange spans into a Chrome
   //    trace-event file (open in chrome://tracing or ui.perfetto.dev).
   //    A HealthMonitor watches every round for numeric trouble.
   Trainer trainer(*workload.model, workload.data, config);

@@ -1,0 +1,40 @@
+// The device side of the federation: receives a ModelBroadcast, runs the
+// local solve it requests (sim/client), and returns the ClientUpdate.
+// Everything the solve needs — effective mu, systems budget, solver
+// hyper-parameters, the FedDane correction — arrives in the broadcast;
+// the runtime holds only the per-device data shards and the solver
+// implementation, plus the experiment seed from which it derives the
+// (seed, round, device)-keyed mini-batch stream.
+//
+// One runtime serves every simulated device: handle() is const and
+// thread-safe, so the server's ThreadPool calls it concurrently for the
+// selected devices of a round.
+
+#pragma once
+
+#include <cstdint>
+
+#include "comm/message.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "optim/solver.h"
+
+namespace fed {
+
+class ClientRuntime {
+ public:
+  // `model`, `data`, and `solver` must outlive the runtime.
+  ClientRuntime(const Model& model, const FederatedDataset& data,
+                const LocalSolver& solver, std::uint64_t seed);
+
+  // Executes the broadcast's local solve and returns the update.
+  ClientUpdate handle(const ModelBroadcast& broadcast) const;
+
+ private:
+  const Model& model_;
+  const FederatedDataset& data_;
+  const LocalSolver& solver_;
+  std::uint64_t seed_;
+};
+
+}  // namespace fed

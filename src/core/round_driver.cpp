@@ -1,0 +1,182 @@
+#include "core/round_driver.h"
+
+#include "core/dissimilarity.h"
+#include "core/feddane.h"
+#include "obs/observer.h"
+#include "obs/profiler.h"
+#include "sim/aggregate.h"
+#include "sim/server.h"
+#include "support/log.h"
+#include "support/stopwatch.h"
+
+namespace fed {
+
+RoundDriver::RoundDriver(const Model& model, const FederatedDataset& data,
+                         const TrainerConfig& config,
+                         const Transport& transport,
+                         const ClientRuntime& runtime, ThreadPool* pool,
+                         std::span<TrainingObserver* const> observers)
+    : model_(model),
+      data_(data),
+      config_(config),
+      transport_(transport),
+      runtime_(runtime),
+      pool_(pool),
+      observers_(observers),
+      pk_(data.client_weights()) {}
+
+void RoundDriver::evaluate(const Vector& w, RoundMetrics& metrics,
+                           RoundTrace& trace) {
+  Span span("eval", "phase", "round",
+            static_cast<std::int64_t>(metrics.round));
+  Stopwatch timer;
+  const GlobalEval eval = evaluate_global(model_, data_, w, pool_);
+  metrics.train_loss = eval.train_loss;
+  metrics.train_accuracy = eval.train_accuracy;
+  metrics.test_accuracy = eval.test_accuracy;
+  if (config_.measure_dissimilarity) {
+    const auto dis = measure_dissimilarity(model_, data_, w, pool_);
+    metrics.grad_variance = dis.variance;
+    metrics.dissimilarity_b = dis.b;
+  }
+  trace.eval_seconds = timer.seconds();
+  trace.evaluated = true;
+}
+
+RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
+                                                Vector& w) {
+  RoundOutput out;
+  RoundTrace& trace = out.trace;
+  trace.round = t + 1;
+  Stopwatch phase_timer;
+
+  // 1. Select devices (deterministic in (seed, round); identical across
+  //    algorithms under the same seed).
+  // 2. Assign systems budgets (who straggles, how much work each gets).
+  std::vector<std::size_t> selected;
+  std::vector<DeviceBudget> budgets;
+  {
+    Span span("sampling", "phase", "round", static_cast<std::int64_t>(t + 1));
+    selected = select_devices(config_.sampling, pk_,
+                              config_.devices_per_round, config_.seed, t);
+    std::vector<std::size_t> train_sizes(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      train_sizes[i] = data_.clients[selected[i]].train.size();
+    }
+    budgets = assign_budgets(config_.systems, config_.seed, t, selected,
+                             train_sizes, config_.batch_size);
+  }
+  trace.sampling_seconds = phase_timer.seconds();
+
+  for (auto* o : observers_) o->on_round_start(t + 1, selected);
+
+  // 3. FedDane: estimate the full gradient from the sampled devices. The
+  //    per-device corrections ride in the broadcasts below.
+  std::vector<Vector> corrections;
+  if (config_.algorithm == Algorithm::kFedDane) {
+    Span span("feddane_correction", "phase", "round",
+              static_cast<std::int64_t>(t + 1));
+    phase_timer.reset();
+    corrections = feddane_corrections(model_, data_, selected, w, pool_);
+    trace.correction_seconds = phase_timer.seconds();
+  }
+
+  // 4. Broadcast / local solve / collect, in parallel across devices:
+  //    each worker round-trips one device's exchange through the
+  //    transport. Workers only touch their own slot, so determinism is
+  //    untouched; byte counts are summed after the barrier.
+  const RoundConfig round_config = config_.round_config(mu);
+  std::vector<ExchangeRecord> exchanges(selected.size());
+  phase_timer.reset();
+  {
+    Span span("solve_parallel", "phase", "round",
+              static_cast<std::int64_t>(t + 1), "devices",
+              static_cast<std::int64_t>(selected.size()));
+    pool_->parallel_for(selected.size(), [&](std::size_t i) {
+      // Worker-side span: lands on the pool thread's track. Recording
+      // draws no randomness, so determinism is untouched.
+      Span exchange_span("exchange", "comm", "round",
+                         static_cast<std::int64_t>(t + 1), "device",
+                         static_cast<std::int64_t>(selected[i]), "iterations",
+                         static_cast<std::int64_t>(budgets[i].iterations));
+      ModelBroadcast broadcast{.round = t + 1,
+                               .config = round_config,
+                               .budget = budgets[i],
+                               .parameters = w,
+                               .correction = {}};
+      if (!corrections.empty()) broadcast.correction = corrections[i];
+      exchanges[i] = transport_.exchange(broadcast, runtime_);
+    });
+  }
+  trace.solve_wall_seconds = phase_timer.seconds();
+
+  for (auto* o : observers_) {
+    for (const auto& e : exchanges) o->on_client_result(t + 1, e.result());
+  }
+
+  // 5. Aggregate. FedAvg drops stragglers; FedProx/FedDane keep them.
+  //    Upload bytes are charged for contributors only — a dropped
+  //    straggler never reports back within the round window, so its
+  //    update moves no measured bytes.
+  phase_timer.reset();
+  std::vector<Contribution> contributions;
+  std::uint64_t bytes_up = 0;
+  std::size_t straggler_total = 0;
+  bool updated = false;
+  {
+    Span span("aggregate", "phase", "round", static_cast<std::int64_t>(t + 1));
+    for (const auto& e : exchanges) {
+      const ClientResult& r = e.result();
+      if (r.straggler) ++straggler_total;
+      if (config_.algorithm == Algorithm::kFedAvg && r.straggler) continue;
+      contributions.push_back(
+          {r.device, &r.update, static_cast<double>(r.num_samples)});
+      bytes_up += e.bytes_up;
+    }
+    updated = aggregate(config_.sampling, contributions, w);
+  }
+  trace.aggregate_seconds = phase_timer.seconds();
+  if (!updated) {
+    log_debug() << "round " << t
+                << ": every selected device was dropped; keeping w";
+  }
+
+  for (auto* o : observers_) {
+    o->on_aggregate(t + 1, std::span<const double>(w));
+  }
+
+  trace.selected = selected.size();
+  trace.contributors = contributions.size();
+  trace.stragglers = straggler_total;
+  for (const auto& e : exchanges) trace.bytes_down += e.bytes_down;
+  trace.bytes_up = bytes_up;
+  {
+    std::vector<double> solve_times;
+    solve_times.reserve(exchanges.size());
+    for (const auto& e : exchanges) {
+      solve_times.push_back(e.result().solve_seconds);
+    }
+    trace.solve = SolveStats::from_samples(solve_times);
+  }
+
+  // 6. Record metrics (evaluation, if due, is the caller's).
+  RoundMetrics& m = out.metrics;
+  m.round = t + 1;
+  m.mu = mu;
+  m.contributors = contributions.size();
+  m.stragglers = straggler_total;
+  if (config_.measure_gamma) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const auto& e : exchanges) {
+      if (e.result().gamma_measured) {
+        total += e.result().gamma;
+        ++count;
+      }
+    }
+    if (count > 0) m.mean_gamma = total / static_cast<double>(count);
+  }
+  return out;
+}
+
+}  // namespace fed

@@ -1,0 +1,59 @@
+// The server side of a federated round, speaking only in messages.
+//
+// run_round executes one training round of Algorithm 1/2: sample devices,
+// assign systems budgets, broadcast the global model through the
+// Transport, collect the returned updates, and aggregate them into `w` —
+// recording transport-measured bytes and per-phase wall times in the
+// RoundTrace. evaluate() runs the global evaluation (plus dissimilarity
+// when configured). The Trainer owns everything *across* rounds — the
+// mu policies, evaluation cadence, history, and observer lifecycle — and
+// drives this class once per round.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/client_runtime.h"
+#include "comm/transport.h"
+#include "core/trainer.h"
+#include "obs/trace.h"
+#include "support/threadpool.h"
+
+namespace fed {
+
+class RoundDriver {
+ public:
+  // All references must outlive the driver; `pool` must be non-null.
+  RoundDriver(const Model& model, const FederatedDataset& data,
+              const TrainerConfig& config, const Transport& transport,
+              const ClientRuntime& runtime, ThreadPool* pool,
+              std::span<TrainingObserver* const> observers);
+
+  struct RoundOutput {
+    RoundMetrics metrics;
+    RoundTrace trace;
+  };
+
+  // Executes training round `t` (0-based, already offset by first_round)
+  // under proximal coefficient `mu`, updating `w` in place. Fills every
+  // metric/trace field except the evaluation ones and round_seconds,
+  // which the caller charges (evaluation cadence is its call).
+  RoundOutput run_round(std::size_t t, double mu, Vector& w);
+
+  // Global evaluation + optional dissimilarity, charged to
+  // trace.eval_seconds.
+  void evaluate(const Vector& w, RoundMetrics& metrics, RoundTrace& trace);
+
+ private:
+  const Model& model_;
+  const FederatedDataset& data_;
+  const TrainerConfig& config_;
+  const Transport& transport_;
+  const ClientRuntime& runtime_;
+  ThreadPool* pool_;
+  std::span<TrainingObserver* const> observers_;
+  std::vector<double> pk_;  // client weights p_k, fixed for the run
+};
+
+}  // namespace fed

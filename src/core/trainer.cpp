@@ -3,16 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/feddane.h"
+#include "comm/client_runtime.h"
+#include "comm/transport.h"
+#include "core/round_driver.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
 #include "optim/sgd.h"
-#include "sim/aggregate.h"
-#include "sim/client.h"
-#include "sim/server.h"
-#include "support/log.h"
 #include "support/stopwatch.h"
-#include "tensor/ops.h"
 
 namespace fed {
 
@@ -119,10 +116,6 @@ TrainHistory Trainer::run() {
   }
 
   const std::size_t d = model_.parameter_count();
-  const auto pk = data_.client_weights();
-  // The paper's communication proxy: one parameter vector per transfer.
-  const std::uint64_t param_bytes =
-      static_cast<std::uint64_t>(d) * sizeof(double);
 
   Vector w(d);
   if (config_.initial_parameters) {
@@ -171,23 +164,14 @@ TrainHistory Trainer::run() {
                 static_cast<std::int64_t>(config_.rounds), "clients",
                 static_cast<std::int64_t>(data_.num_clients()));
 
-  // Evaluation phase: global eval plus (when configured) dissimilarity;
-  // both are charged to the trace's eval_seconds.
-  auto evaluate_round = [&](RoundMetrics& m, RoundTrace& trace) {
-    Span span("eval", "phase", "round", static_cast<std::int64_t>(m.round));
-    Stopwatch timer;
-    const GlobalEval eval = evaluate_global(model_, data_, w, pool);
-    m.train_loss = eval.train_loss;
-    m.train_accuracy = eval.train_accuracy;
-    m.test_accuracy = eval.test_accuracy;
-    if (config_.measure_dissimilarity) {
-      const auto dis = measure_dissimilarity(model_, data_, w, pool);
-      m.grad_variance = dis.variance;
-      m.dissimilarity_b = dis.b;
-    }
-    trace.eval_seconds = timer.seconds();
-    trace.evaluated = true;
-  };
+  // The federation stack for this run: the device-side runtime, the
+  // channel the messages travel through, and the server-side driver that
+  // executes each round as a message exchange.
+  ClientRuntime runtime(model_, data_, *config_.solver, config_.seed);
+  std::shared_ptr<const Transport> transport = config_.transport;
+  if (!transport) transport = make_transport(TransportKind::kInProcess);
+  RoundDriver driver(model_, data_, config_, *transport, runtime, pool,
+                     observers_);
 
   // Round 0 metrics: the initial model (the paper's plots start at w^0).
   {
@@ -199,7 +183,7 @@ TrainHistory Trainer::run() {
     m.mu = mu;
     RoundTrace trace;
     trace.round = config_.first_round;
-    evaluate_round(m, trace);
+    driver.evaluate(w, m, trace);
     trace.round_seconds = round_timer.seconds();
     history.rounds.push_back(m);
     for (auto* o : observers_) o->on_round_end(history.rounds.back(), trace);
@@ -212,144 +196,23 @@ TrainHistory Trainer::run() {
     Span round_span("round", "trainer", "round",
                     static_cast<std::int64_t>(t + 1));
     Stopwatch round_timer;
-    Stopwatch phase_timer;
-    RoundTrace trace;
-    trace.round = t + 1;
 
-    // 1. Select devices (deterministic in (seed, round); identical across
-    //    algorithms under the same seed).
-    // 2. Assign systems budgets (who straggles, how much work each gets).
-    std::vector<std::size_t> selected;
-    std::vector<DeviceBudget> budgets;
-    {
-      Span span("sampling", "phase", "round",
-                static_cast<std::int64_t>(t + 1));
-      selected = select_devices(config_.sampling, pk,
-                                config_.devices_per_round, config_.seed, t);
-      std::vector<std::size_t> train_sizes(selected.size());
-      for (std::size_t i = 0; i < selected.size(); ++i) {
-        train_sizes[i] = data_.clients[selected[i]].train.size();
-      }
-      budgets = assign_budgets(config_.systems, config_.seed, t, selected,
-                               train_sizes, config_.batch_size);
-    }
-    trace.sampling_seconds = phase_timer.seconds();
+    RoundDriver::RoundOutput out = driver.run_round(t, mu, w);
 
-    for (auto* o : observers_) o->on_round_start(t + 1, selected);
-
-    // 3. FedDane: estimate the full gradient from the sampled devices.
-    std::vector<Vector> corrections;
-    if (config_.algorithm == Algorithm::kFedDane) {
-      Span span("feddane_correction", "phase", "round",
-                static_cast<std::int64_t>(t + 1));
-      phase_timer.reset();
-      corrections = feddane_corrections(model_, data_, selected, w, pool);
-      trace.correction_seconds = phase_timer.seconds();
-    }
-
-    // 4. Local solves, in parallel across devices. Each worker times its
-    //    own solve (ClientResult::solve_seconds); the round thread only
-    //    reads them after the barrier, so determinism is untouched.
-    ClientRoundConfig client_config{.mu = mu,
-                                    .batch_size = config_.batch_size,
-                                    .learning_rate = config_.learning_rate,
-                                    .clip_norm = config_.clip_norm,
-                                    .measure_gamma = config_.measure_gamma};
-    std::vector<ClientResult> results(selected.size());
-    phase_timer.reset();
-    {
-      Span span("solve_parallel", "phase", "round",
-                static_cast<std::int64_t>(t + 1), "devices",
-                static_cast<std::int64_t>(selected.size()));
-      pool->parallel_for(selected.size(), [&](std::size_t i) {
-        // Worker-side span: lands on the pool thread's track. Recording
-        // draws no randomness, so determinism is untouched.
-        Span solve_span("client_solve", "client", "round",
-                        static_cast<std::int64_t>(t + 1), "device",
-                        static_cast<std::int64_t>(selected[i]), "iterations",
-                        static_cast<std::int64_t>(budgets[i].iterations));
-        Rng minibatch_rng = make_stream(config_.seed, StreamKind::kMinibatch,
-                                        t, selected[i] + 1);
-        std::span<const double> correction;
-        if (!corrections.empty()) correction = corrections[i];
-        results[i] = run_client(model_, data_.clients[selected[i]], w,
-                                *config_.solver, budgets[i], client_config,
-                                correction, minibatch_rng);
-      });
-    }
-    trace.solve_wall_seconds = phase_timer.seconds();
-
-    for (auto* o : observers_) {
-      for (const auto& r : results) o->on_client_result(t + 1, r);
-    }
-
-    // 5. Aggregate. FedAvg drops stragglers; FedProx/FedDane keep them.
-    phase_timer.reset();
-    std::vector<Contribution> contributions;
-    std::size_t straggler_total = 0;
-    bool updated = false;
-    {
-      Span span("aggregate", "phase", "round",
-                static_cast<std::int64_t>(t + 1));
-      for (const auto& r : results) {
-        if (r.straggler) ++straggler_total;
-        if (config_.algorithm == Algorithm::kFedAvg && r.straggler) continue;
-        contributions.push_back(
-            {r.device, &r.update, static_cast<double>(r.num_samples)});
-      }
-      updated = aggregate(config_.sampling, contributions, w);
-    }
-    trace.aggregate_seconds = phase_timer.seconds();
-    if (!updated) {
-      log_debug() << "round " << t
-                  << ": every selected device was dropped; keeping w";
-    }
-
-    for (auto* o : observers_) {
-      o->on_aggregate(t + 1, std::span<const double>(w));
-    }
-
-    trace.selected = selected.size();
-    trace.contributors = contributions.size();
-    trace.stragglers = straggler_total;
-    trace.bytes_down = param_bytes * selected.size();
-    trace.bytes_up = param_bytes * contributions.size();
-    {
-      std::vector<double> solve_times;
-      solve_times.reserve(results.size());
-      for (const auto& r : results) solve_times.push_back(r.solve_seconds);
-      trace.solve = SolveStats::from_samples(solve_times);
-    }
-
-    // 6. Record metrics.
-    RoundMetrics m;
-    m.round = t + 1;
-    m.mu = mu;
-    m.contributors = contributions.size();
-    m.stragglers = straggler_total;
-    if (config_.measure_gamma) {
-      double total = 0.0;
-      std::size_t count = 0;
-      for (const auto& r : results) {
-        if (r.gamma_measured) {
-          total += r.gamma;
-          ++count;
-        }
-      }
-      if (count > 0) {
-        m.mean_gamma = total / static_cast<double>(count);
-      }
-    }
     const bool do_eval =
         ((t + 1) % config_.eval_every == 0) || (step + 1 == config_.rounds);
-    if (do_eval) evaluate_round(m, trace);
-    trace.round_seconds = round_timer.seconds();
-    history.rounds.push_back(m);
-    for (auto* o : observers_) o->on_round_end(history.rounds.back(), trace);
+    if (do_eval) driver.evaluate(w, out.metrics, out.trace);
+    out.trace.round_seconds = round_timer.seconds();
+    history.rounds.push_back(out.metrics);
+    for (auto* o : observers_) {
+      o->on_round_end(history.rounds.back(), out.trace);
+    }
 
-    if (adaptive && m.evaluated()) mu = adaptive->update(*m.train_loss);
-    if (theory && m.evaluated() && m.dissimilarity_b) {
-      mu = theory->update(*m.dissimilarity_b);
+    if (adaptive && out.metrics.evaluated()) {
+      mu = adaptive->update(*out.metrics.train_loss);
+    }
+    if (theory && out.metrics.evaluated() && out.metrics.dissimilarity_b) {
+      mu = theory->update(*out.metrics.dissimilarity_b);
     }
   }
 

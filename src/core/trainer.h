@@ -19,8 +19,16 @@
 // plus a RoundTrace of per-phase wall times. Observers run on the round
 // thread only and never affect results — TrainHistory is bit-identical
 // with and without them. With the span profiler enabled (obs/profiler.h)
-// the run additionally emits nested run -> round -> phase -> client-solve
+// the run additionally emits nested run -> round -> phase -> exchange
 // spans for Chrome-trace export.
+//
+// Communication: each round is an explicit message exchange — the server
+// (core/round_driver) broadcasts the model through a Transport
+// (comm/transport.h) and the devices (comm/client_runtime) return their
+// updates, with exact bytes up/down measured into the RoundTrace. The
+// default InProcessTransport is zero-copy; set TrainerConfig::transport
+// to a SerializedTransport to round-trip every payload through the
+// binary wire format (TrainHistory stays bit-identical either way).
 
 #pragma once
 
@@ -32,6 +40,7 @@
 #include "data/dataset.h"
 #include "nn/module.h"
 #include "optim/solver.h"
+#include "sim/client.h"
 #include "sim/sampling.h"
 #include "sim/systems.h"
 #include "support/threadpool.h"
@@ -39,6 +48,7 @@
 namespace fed {
 
 class TrainingObserver;  // obs/observer.h
+class Transport;         // comm/transport.h
 
 enum class Algorithm {
   kFedAvg,   // drop stragglers; canonical config also sets mu = 0
@@ -91,12 +101,25 @@ struct TrainerConfig {
   std::size_t threads = 0;  // 0 = hardware concurrency
   // Local solver; nullptr means SGD (the paper's choice).
   std::shared_ptr<const LocalSolver> solver;
+  // Federation transport; nullptr means InProcessTransport (zero-copy).
+  std::shared_ptr<const Transport> transport;
   // Warm start: when set, training begins from these parameters instead
   // of the model's seeded initialization (e.g. a loaded checkpoint).
   // `first_round` offsets the round counter so selection/straggler/batch
   // streams continue where the checkpointed run left off.
   std::optional<Vector> initial_parameters;
   std::size_t first_round = 0;
+
+  // The per-round config a ModelBroadcast carries to every selected
+  // device — the trainer-level hyper-parameters plus the round's
+  // effective mu (adaptive/theory policies move it between rounds).
+  RoundConfig round_config(double effective_mu) const {
+    return RoundConfig{.mu = effective_mu,
+                       .batch_size = batch_size,
+                       .learning_rate = learning_rate,
+                       .clip_norm = clip_norm,
+                       .measure_gamma = measure_gamma};
+  }
 };
 
 // Canonical configurations used throughout the benches.

@@ -155,8 +155,8 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry)
     : rounds_(registry.counter("fed_rounds_total")),
       clients_(registry.counter("fed_clients_total")),
       stragglers_(registry.counter("fed_stragglers_total")),
-      bytes_up_(registry.counter("fed_bytes_up_total")),
-      bytes_down_(registry.counter("fed_bytes_down_total")),
+      bytes_up_(registry.counter("fed_comm_bytes_up_total")),
+      bytes_down_(registry.counter("fed_comm_bytes_down_total")),
       mu_(registry.gauge("fed_mu")),
       train_loss_(registry.gauge("fed_train_loss")),
       round_(registry.gauge("fed_round")),

@@ -110,7 +110,7 @@ class MetricsRegistry {
 
 // Feeds a MetricsRegistry from the observer hooks. Instrument names:
 //   counters   fed_rounds_total, fed_clients_total, fed_stragglers_total,
-//              fed_bytes_up_total, fed_bytes_down_total
+//              fed_comm_bytes_up_total, fed_comm_bytes_down_total
 //   gauges     fed_mu, fed_train_loss (last evaluated), fed_round
 //   histograms fed_round_seconds, fed_client_solve_seconds
 class MetricsObserver final : public TrainingObserver {

@@ -5,10 +5,10 @@
 // solve cost. A RoundTrace records the breakdown the Trainer measures for
 // every round: device sampling, the per-client local solves (min/mean/max
 // across contributors), aggregation, and global evaluation, plus the
-// paper's communication proxy (parameter-vector bytes x participants).
-// Traces are produced on the round thread only; wall times vary run to
-// run but every structural field (counts, bytes) is deterministic in
-// (seed, round).
+// exact communication bytes the round's Transport reported for its
+// broadcasts and updates (comm/transport.h). Traces are produced on the
+// round thread only; wall times vary run to run but every structural
+// field (counts, bytes) is deterministic in (seed, round).
 
 #pragma once
 
@@ -47,10 +47,12 @@ struct RoundTrace {
   double eval_seconds = 0.0;        // global eval (+ dissimilarity); 0 if skipped
   double round_seconds = 0.0;       // whole round, sampling through eval
 
-  // Communication proxy (Section 5.1 reports rounds; bytes let us convert
-  // to traffic): parameter-vector size x participants x sizeof(double).
-  std::uint64_t bytes_down = 0;  // server -> every selected device
-  std::uint64_t bytes_up = 0;    // every contributor -> server
+  // Communication traffic, as measured by the round's Transport: exact
+  // wire bytes (envelope + float64 payloads; support/serialize.h). A
+  // dropped FedAvg straggler never reports back, so its upload is not
+  // charged.
+  std::uint64_t bytes_down = 0;  // broadcast bytes, over selected devices
+  std::uint64_t bytes_up = 0;    // update bytes, over contributors only
 };
 
 // Compact JSON object for one trace (the JSONL sink writes one per line).

@@ -9,7 +9,7 @@ namespace fed {
 ClientResult run_client(const Model& model, const ClientData& data,
                         std::span<const double> w_global,
                         const LocalSolver& solver, const DeviceBudget& budget,
-                        const ClientRoundConfig& config,
+                        const RoundConfig& config,
                         std::span<const double> correction,
                         Rng& minibatch_rng) {
   ClientResult result;

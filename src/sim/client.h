@@ -11,7 +11,12 @@
 
 namespace fed {
 
-struct ClientRoundConfig {
+// The per-round hyper-parameters the server sends every selected device.
+// One struct shared by TrainerConfig (which derives it per round, with
+// the effective mu), the ModelBroadcast that carries it over the wire
+// (comm/message.h), and the local solve that consumes it — replacing the
+// old TrainerConfig/ClientRoundConfig field duplication.
+struct RoundConfig {
   double mu = 0.0;
   std::size_t batch_size = 10;
   double learning_rate = 0.01;
@@ -40,7 +45,7 @@ struct ClientResult {
 ClientResult run_client(const Model& model, const ClientData& data,
                         std::span<const double> w_global,
                         const LocalSolver& solver, const DeviceBudget& budget,
-                        const ClientRoundConfig& config,
+                        const RoundConfig& config,
                         std::span<const double> correction,
                         Rng& minibatch_rng);
 

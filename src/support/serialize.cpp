@@ -98,6 +98,190 @@ void save_history(const std::string& path, const TrainHistory& history) {
   }
 }
 
+namespace {
+
+constexpr char kBroadcastMagic[4] = {'F', 'P', 'B', '1'};
+constexpr char kUpdateMagic[4] = {'F', 'P', 'U', '1'};
+
+// Append-only little-endian writer over a WireBuffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(WireBuffer& out) : out_(out) {}
+
+  void magic(const char (&m)[4]) {
+    out_.insert(out_.end(), reinterpret_cast<const std::uint8_t*>(m),
+                reinterpret_cast<const std::uint8_t*>(m) + 4);
+  }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void flag(bool v) { out_.push_back(v ? 1 : 0); }
+  void doubles(std::span<const double> v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), bytes, bytes + n);
+  }
+  WireBuffer& out_;
+};
+
+// Bounds-checked cursor over an encoded buffer. Every read throws on
+// truncation; finish() rejects trailing bytes.
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::uint8_t> buffer, const char* what)
+      : buffer_(buffer), what_(what) {}
+
+  void magic(const char (&m)[4]) {
+    if (buffer_.size() < pos_ + 4 ||
+        std::memcmp(buffer_.data() + pos_, m, 4) != 0) {
+      throw std::runtime_error(std::string(what_) + ": bad magic");
+    }
+    pos_ += 4;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  double f64() {
+    double v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  bool flag() {
+    std::uint8_t v;
+    raw(&v, sizeof(v));
+    if (v > 1) {
+      throw std::runtime_error(std::string(what_) + ": corrupt boolean flag");
+    }
+    return v == 1;
+  }
+  Vector doubles() {
+    const std::uint64_t n = u64();
+    if ((buffer_.size() - pos_) / sizeof(double) < n) {
+      throw std::runtime_error(std::string(what_) + ": truncated payload");
+    }
+    Vector v(n);
+    raw(v.data(), n * sizeof(double));
+    return v;
+  }
+  void finish() const {
+    if (pos_ != buffer_.size()) {
+      throw std::runtime_error(std::string(what_) + ": trailing bytes");
+    }
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    if (buffer_.size() - pos_ < n) {
+      throw std::runtime_error(std::string(what_) + ": truncated");
+    }
+    std::memcpy(p, buffer_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const std::uint8_t> buffer_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+}  // namespace
+
+std::size_t broadcast_wire_size(std::size_t param_dim,
+                                std::size_t correction_dim) {
+  return kBroadcastEnvelopeBytes + (param_dim + correction_dim) * sizeof(double);
+}
+
+std::size_t broadcast_wire_size(const ModelBroadcast& message) {
+  return broadcast_wire_size(message.parameters.size(),
+                             message.correction.size());
+}
+
+std::size_t update_wire_size(std::size_t dim) {
+  return kUpdateEnvelopeBytes + dim * sizeof(double);
+}
+
+std::size_t update_wire_size(const ClientUpdate& message) {
+  return update_wire_size(message.result.update.size());
+}
+
+WireBuffer encode_broadcast(const ModelBroadcast& message) {
+  WireBuffer out;
+  out.reserve(broadcast_wire_size(message));
+  ByteWriter w(out);
+  w.magic(kBroadcastMagic);
+  w.u64(message.round);
+  w.f64(message.config.mu);
+  w.u64(message.config.batch_size);
+  w.f64(message.config.learning_rate);
+  w.f64(message.config.clip_norm);
+  w.flag(message.config.measure_gamma);
+  w.u64(message.budget.device);
+  w.flag(message.budget.straggler);
+  w.u64(message.budget.epochs);
+  w.u64(message.budget.iterations);
+  w.doubles(message.parameters);
+  w.doubles(message.correction);
+  return out;
+}
+
+OwnedBroadcast decode_broadcast(std::span<const std::uint8_t> buffer) {
+  ByteReader r(buffer, "decode_broadcast");
+  r.magic(kBroadcastMagic);
+  OwnedBroadcast m;
+  m.round = r.u64();
+  m.config.mu = r.f64();
+  m.config.batch_size = r.u64();
+  m.config.learning_rate = r.f64();
+  m.config.clip_norm = r.f64();
+  m.config.measure_gamma = r.flag();
+  m.budget.device = r.u64();
+  m.budget.straggler = r.flag();
+  m.budget.epochs = r.u64();
+  m.budget.iterations = r.u64();
+  m.parameters = r.doubles();
+  m.correction = r.doubles();
+  r.finish();
+  return m;
+}
+
+WireBuffer encode_update(const ClientUpdate& message) {
+  WireBuffer out;
+  out.reserve(update_wire_size(message));
+  ByteWriter w(out);
+  w.magic(kUpdateMagic);
+  w.u64(message.round);
+  w.u64(message.result.device);
+  w.u64(message.result.num_samples);
+  w.flag(message.result.straggler);
+  w.u64(message.result.iterations);
+  w.f64(message.result.gamma);
+  w.flag(message.result.gamma_measured);
+  w.f64(message.result.solve_seconds);
+  w.doubles(message.result.update);
+  return out;
+}
+
+ClientUpdate decode_update(std::span<const std::uint8_t> buffer) {
+  ByteReader r(buffer, "decode_update");
+  r.magic(kUpdateMagic);
+  ClientUpdate m;
+  m.round = r.u64();
+  m.result.device = r.u64();
+  m.result.num_samples = r.u64();
+  m.result.straggler = r.flag();
+  m.result.iterations = r.u64();
+  m.result.gamma = r.f64();
+  m.result.gamma_measured = r.flag();
+  m.result.solve_seconds = r.f64();
+  m.result.update = r.doubles();
+  r.finish();
+  return m;
+}
+
 TrainHistory load_history(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_history: cannot open " + path);

@@ -1,16 +1,33 @@
-// Model checkpointing: binary save/load of flat parameter vectors, and
-// save/load of full training histories, so long experiments can be
-// resumed or post-processed outside the run.
+// Binary serialization: model checkpoints, training histories, and the
+// wire codecs for the federation messages (comm/message.h) that
+// SerializedTransport round-trips every payload through.
 //
 // Checkpoint format (little-endian):
 //   magic "FPX1" | u64 dimension | dimension * f64 parameters
 // History format: the experiment CSV schema (support for reading back the
 // same files bench drivers write).
+//
+// Wire formats (little-endian, doubles round-trip bit-exactly):
+//   ModelBroadcast  magic "FPB1" | u64 round
+//                   | f64 mu | u64 batch_size | f64 learning_rate
+//                   | f64 clip_norm | u8 measure_gamma
+//                   | u64 device | u8 straggler | u64 epochs | u64 iterations
+//                   | u64 param_dim | param_dim * f64
+//                   | u64 correction_dim | correction_dim * f64
+//   ClientUpdate    magic "FPU1" | u64 round | u64 device | u64 num_samples
+//                   | u8 straggler | u64 iterations | f64 gamma
+//                   | u8 gamma_measured | f64 solve_seconds
+//                   | u64 dim | dim * f64
+// Decoders reject bad magic, truncation, trailing bytes, and corrupt
+// boolean flags with std::runtime_error.
 
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "comm/message.h"
 #include "core/trainer.h"
 #include "tensor/tensor.h"
 
@@ -30,5 +47,37 @@ Vector load_checkpoint(const std::string& path, std::size_t expected_dim);
 // `path` and reads it back. Round-trip is exact for the recorded fields.
 void save_history(const std::string& path, const TrainHistory& history);
 TrainHistory load_history(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Federation payload codecs.
+
+using WireBuffer = std::vector<std::uint8_t>;
+
+// Fixed envelope (header + metadata) sizes of the two wire formats; the
+// rest of a message is the float64 payload — exactly the analytical
+// parameter-vector-size proxy older traces estimated bytes with.
+inline constexpr std::size_t kBroadcastEnvelopeBytes =
+    4 + 8 +                  // magic, round
+    8 + 8 + 8 + 8 + 1 +      // mu, batch_size, learning_rate, clip, gamma
+    8 + 1 + 8 + 8 +          // device, straggler, epochs, iterations
+    8 + 8;                   // param_dim, correction_dim
+inline constexpr std::size_t kUpdateEnvelopeBytes =
+    4 + 8 +                  // magic, round
+    8 + 8 + 1 + 8 +          // device, num_samples, straggler, iterations
+    8 + 1 + 8 +              // gamma, gamma_measured, solve_seconds
+    8;                       // dim
+
+// Exact wire sizes, computable without serializing (the zero-copy
+// transport's byte accounting).
+std::size_t broadcast_wire_size(std::size_t param_dim,
+                                std::size_t correction_dim);
+std::size_t broadcast_wire_size(const ModelBroadcast& message);
+std::size_t update_wire_size(std::size_t dim);
+std::size_t update_wire_size(const ClientUpdate& message);
+
+WireBuffer encode_broadcast(const ModelBroadcast& message);
+OwnedBroadcast decode_broadcast(std::span<const std::uint8_t> buffer);
+WireBuffer encode_update(const ClientUpdate& message);
+ClientUpdate decode_update(std::span<const std::uint8_t> buffer);
 
 }  // namespace fed

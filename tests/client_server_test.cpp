@@ -25,7 +25,7 @@ TEST(RunClient, UpdatesMoveTowardLocalMinimizer) {
   SgdSolver solver;
   DeviceBudget budget{.device = 3, .straggler = false, .epochs = 10,
                       .iterations = 40};
-  ClientRoundConfig config{.mu = 0.0, .batch_size = 2, .learning_rate = 0.2,
+  RoundConfig config{.mu = 0.0, .batch_size = 2, .learning_rate = 0.2,
                            .measure_gamma = false};
   Rng rng = make_stream(1, StreamKind::kMinibatch, 0, 3);
   const ClientResult result =
@@ -44,7 +44,7 @@ TEST(RunClient, ZeroBudgetReturnsAnchor) {
   SgdSolver solver;
   DeviceBudget budget{.device = 0, .straggler = true, .epochs = 0,
                       .iterations = 0};
-  ClientRoundConfig config;
+  RoundConfig config;
   Rng rng = make_stream(2, StreamKind::kMinibatch, 0, 0);
   const ClientResult result =
       run_client(model, data, w_global, solver, budget, config, {}, rng);
@@ -59,7 +59,7 @@ TEST(RunClient, GammaMeasuredWhenRequested) {
   SgdSolver solver;
   DeviceBudget budget{.device = 0, .straggler = false, .epochs = 5,
                       .iterations = 30};
-  ClientRoundConfig config{.mu = 1.0, .batch_size = 2, .learning_rate = 0.2,
+  RoundConfig config{.mu = 1.0, .batch_size = 2, .learning_rate = 0.2,
                            .measure_gamma = true};
   Rng rng = make_stream(3, StreamKind::kMinibatch, 0, 0);
   const ClientResult result =

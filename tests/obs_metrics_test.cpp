@@ -12,6 +12,7 @@
 #include "data/synthetic.h"
 #include "nn/logistic.h"
 #include "support/log.h"
+#include "support/serialize.h"
 #include "support/threadpool.h"
 
 namespace fed {
@@ -159,13 +160,16 @@ TEST_F(MetricsTest, MetricsObserverFedByTrainerRun) {
   for (const auto& m : history.rounds) stragglers += m.stragglers;
   EXPECT_EQ(registry.counter("fed_stragglers_total").value(), stragglers);
 
-  // bytes = d * sizeof(double) per participant, summed over rounds.
-  const std::uint64_t param_bytes = model.parameter_count() * sizeof(double);
+  // Transport-measured traffic: one broadcast per selected device down,
+  // one update per contributor up, at exact wire sizes.
+  const std::size_t d = model.parameter_count();
   std::uint64_t expect_up = 0;
-  for (const auto& m : history.rounds) expect_up += m.contributors * param_bytes;
-  EXPECT_EQ(registry.counter("fed_bytes_up_total").value(), expect_up);
-  EXPECT_EQ(registry.counter("fed_bytes_down_total").value(),
-            5u * 4u * param_bytes);
+  for (const auto& m : history.rounds) {
+    expect_up += m.contributors * update_wire_size(d);
+  }
+  EXPECT_EQ(registry.counter("fed_comm_bytes_up_total").value(), expect_up);
+  EXPECT_EQ(registry.counter("fed_comm_bytes_down_total").value(),
+            5u * 4u * broadcast_wire_size(d, 0));
 
   EXPECT_DOUBLE_EQ(registry.gauge("fed_mu").value(), 0.5);
   EXPECT_DOUBLE_EQ(registry.gauge("fed_round").value(),

@@ -158,7 +158,7 @@ TEST_F(ProfilerTest, TrainerRunEmitsTheDocumentedSpanHierarchy) {
   }
   for (const char* required :
        {"run", "round", "sampling", "solve_parallel", "aggregate", "eval",
-        "client_solve", "local_epoch", "task"}) {
+        "exchange", "local_epoch", "task"}) {
     EXPECT_TRUE(names.count(required)) << "missing span: " << required;
   }
 
@@ -169,19 +169,19 @@ TEST_F(ProfilerTest, TrainerRunEmitsTheDocumentedSpanHierarchy) {
   }
   EXPECT_TRUE(saw_pool_thread);
 
-  // Every client_solve carries round/device args.
-  std::size_t client_solves = 0;
+  // Every exchange carries round/device args.
+  std::size_t exchange_spans = 0;
   for (const ProfileEvent& e : snapshot.events) {
     if (e.type != ProfileEvent::Type::kComplete ||
-        std::string(e.name) != "client_solve") {
+        std::string(e.name) != "exchange") {
       continue;
     }
-    ++client_solves;
+    ++exchange_spans;
     ASSERT_EQ(e.num_args, 3);
     EXPECT_STREQ(e.arg_names[0], "round");
     EXPECT_STREQ(e.arg_names[1], "device");
   }
-  EXPECT_EQ(client_solves, config().rounds * config().devices_per_round);
+  EXPECT_EQ(exchange_spans, config().rounds * config().devices_per_round);
 }
 
 TEST_F(ProfilerTest, CompleteEventsNestPerThreadAndAsyncPairsMatch) {

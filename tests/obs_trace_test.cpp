@@ -19,6 +19,7 @@
 #include "obs/trace.h"
 #include "support/json.h"
 #include "support/log.h"
+#include "support/serialize.h"
 
 namespace fed {
 namespace {
@@ -143,7 +144,7 @@ TEST_F(TraceTest, TraceCountsAndBytesFollowTheConfig) {
   trainer.add_observer(collector);
   const auto history = trainer.run();
 
-  const std::uint64_t param_bytes = model.parameter_count() * sizeof(double);
+  const std::size_t d = model.parameter_count();
   const auto& traces = collector.traces();
   ASSERT_EQ(traces.size(), kRounds + 1);
 
@@ -160,8 +161,10 @@ TEST_F(TraceTest, TraceCountsAndBytesFollowTheConfig) {
     EXPECT_EQ(t.contributors, t.selected);
     EXPECT_LE(t.stragglers, t.selected);
     EXPECT_EQ(t.contributors, history.rounds[i].contributors);
-    EXPECT_EQ(t.bytes_down, t.selected * param_bytes);
-    EXPECT_EQ(t.bytes_up, t.contributors * param_bytes);
+    // Transport-measured: exact broadcast/update wire sizes (FedProx has
+    // no correction payload), not the bare parameter-vector estimate.
+    EXPECT_EQ(t.bytes_down, t.selected * broadcast_wire_size(d, 0));
+    EXPECT_EQ(t.bytes_up, t.contributors * update_wire_size(d));
     // Phase wall times are measured, non-negative, and bounded by the
     // whole-round time.
     EXPECT_GT(t.solve.count, 0u);

@@ -113,5 +113,134 @@ TEST_F(SerializeTest, LoadHistoryRejectsMalformedRow) {
   EXPECT_THROW(load_history(path), std::runtime_error);
 }
 
+// --- Federation payload codecs -------------------------------------------
+
+// A broadcast with every field off its default, including doubles that
+// only survive a bit-exact round trip.
+OwnedBroadcast sample_broadcast() {
+  OwnedBroadcast b;
+  b.round = 17;
+  b.config = RoundConfig{.mu = 0.1 + 0.2,  // not representable exactly
+                         .batch_size = 32,
+                         .learning_rate = 1e-3,
+                         .clip_norm = 5.5,
+                         .measure_gamma = true};
+  b.budget = DeviceBudget{
+      .device = 6, .straggler = true, .epochs = 3, .iterations = 41};
+  b.parameters = Vector{1.5, -2.25, 0.0, 1e-300, 1e300, 3.141592653589793};
+  b.correction = Vector{-0.5, 0.125};
+  return b;
+}
+
+ClientUpdate sample_update() {
+  ClientUpdate u;
+  u.round = 17;
+  u.result.device = 6;
+  u.result.update = Vector{0.75, -1e-20, 42.0};
+  u.result.num_samples = 128;
+  u.result.straggler = true;
+  u.result.iterations = 41;
+  u.result.gamma = 0.01;
+  u.result.gamma_measured = true;
+  u.result.solve_seconds = 0.0025;
+  return u;
+}
+
+TEST_F(SerializeTest, BroadcastRoundTripsExactly) {
+  const OwnedBroadcast b = sample_broadcast();
+  const WireBuffer wire = encode_broadcast(b.view());
+  EXPECT_EQ(wire.size(), broadcast_wire_size(b.view()));
+  const OwnedBroadcast back = decode_broadcast(wire);
+  EXPECT_EQ(back.round, b.round);
+  EXPECT_EQ(back.config.mu, b.config.mu);
+  EXPECT_EQ(back.config.batch_size, b.config.batch_size);
+  EXPECT_EQ(back.config.learning_rate, b.config.learning_rate);
+  EXPECT_EQ(back.config.clip_norm, b.config.clip_norm);
+  EXPECT_EQ(back.config.measure_gamma, b.config.measure_gamma);
+  EXPECT_EQ(back.budget.device, b.budget.device);
+  EXPECT_EQ(back.budget.straggler, b.budget.straggler);
+  EXPECT_EQ(back.budget.epochs, b.budget.epochs);
+  EXPECT_EQ(back.budget.iterations, b.budget.iterations);
+  EXPECT_EQ(back.parameters, b.parameters);  // bit-exact doubles
+  EXPECT_EQ(back.correction, b.correction);
+}
+
+TEST_F(SerializeTest, UpdateRoundTripsExactly) {
+  const ClientUpdate u = sample_update();
+  const WireBuffer wire = encode_update(u);
+  EXPECT_EQ(wire.size(), update_wire_size(u));
+  const ClientUpdate back = decode_update(wire);
+  EXPECT_EQ(back.round, u.round);
+  EXPECT_EQ(back.result.device, u.result.device);
+  EXPECT_EQ(back.result.update, u.result.update);
+  EXPECT_EQ(back.result.num_samples, u.result.num_samples);
+  EXPECT_EQ(back.result.straggler, u.result.straggler);
+  EXPECT_EQ(back.result.iterations, u.result.iterations);
+  EXPECT_EQ(back.result.gamma, u.result.gamma);
+  EXPECT_EQ(back.result.gamma_measured, u.result.gamma_measured);
+  EXPECT_EQ(back.result.solve_seconds, u.result.solve_seconds);
+}
+
+TEST_F(SerializeTest, WirePayloadMatchesOldAnalyticalEstimate) {
+  // Regression for the byte-accounting switch: for the uncompressed
+  // float64 wire format, the payload past the fixed envelope is exactly
+  // the d * sizeof(double) proxy the traces used to estimate.
+  for (const std::size_t d : {0u, 1u, 61u, 7850u}) {
+    EXPECT_EQ(broadcast_wire_size(d, 0) - kBroadcastEnvelopeBytes,
+              d * sizeof(double));
+    EXPECT_EQ(update_wire_size(d) - kUpdateEnvelopeBytes,
+              d * sizeof(double));
+  }
+  // A FedDane correction rides as a second payload of the same shape.
+  EXPECT_EQ(broadcast_wire_size(10, 10) - kBroadcastEnvelopeBytes,
+            2 * 10 * sizeof(double));
+}
+
+TEST_F(SerializeTest, DecodeBroadcastRejectsCorruptBuffers) {
+  const WireBuffer wire = encode_broadcast(sample_broadcast().view());
+
+  // Truncation: every proper prefix must throw, never read past the end.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{11}, wire.size() / 2,
+        wire.size() - 1}) {
+    WireBuffer cut(wire.begin(), wire.begin() + keep);
+    EXPECT_THROW(decode_broadcast(cut), std::runtime_error) << keep;
+  }
+
+  WireBuffer bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(decode_broadcast(bad_magic), std::runtime_error);
+
+  WireBuffer trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_broadcast(trailing), std::runtime_error);
+
+  WireBuffer bad_flag = wire;
+  bad_flag[4 + 8 + 8 + 8 + 8 + 8] = 7;  // measure_gamma byte: not 0/1
+  EXPECT_THROW(decode_broadcast(bad_flag), std::runtime_error);
+}
+
+TEST_F(SerializeTest, DecodeUpdateRejectsCorruptBuffers) {
+  const WireBuffer wire = encode_update(sample_update());
+
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, wire.size() / 2, wire.size() - 1}) {
+    WireBuffer cut(wire.begin(), wire.begin() + keep);
+    EXPECT_THROW(decode_update(cut), std::runtime_error) << keep;
+  }
+
+  WireBuffer bad_magic = wire;
+  bad_magic[3] = '9';
+  EXPECT_THROW(decode_update(bad_magic), std::runtime_error);
+
+  WireBuffer trailing = wire;
+  trailing.push_back(1);
+  EXPECT_THROW(decode_update(trailing), std::runtime_error);
+
+  WireBuffer bad_flag = wire;
+  bad_flag[4 + 8 + 8 + 8] = 0xFF;  // straggler byte: not 0/1
+  EXPECT_THROW(decode_update(bad_flag), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace fed

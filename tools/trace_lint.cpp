@@ -4,10 +4,14 @@
 //   trace_lint --chrome run.trace.json   # Chrome trace-event span profile
 //
 // JSONL checks: every line parses as a JSON object, the first line is the
-// run header ({"run":{...}}), and every later line carries a "round".
+// run header ({"run":{...}}), every later line carries a "round", and the
+// transport byte accounting holds — bytes_down/bytes_up present on every
+// round line, non-zero exactly when devices were selected / contributed,
+// and divisible by the participant count (every device moves the same
+// wire-format payload within a round).
 // Chrome checks: the document parses, traceEvents is non-empty, "X"
 // events nest properly per thread (a stack check over ts/dur), async
-// "b"/"e" pairs match up by id, the run/round/client_solve spans are
+// "b"/"e" pairs match up by id, the run/round/exchange spans are
 // present, and at least one thread is named "pool-<i>".
 //
 // Exits non-zero with a message on the first failed check; used by the
@@ -43,6 +47,45 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+// Transport byte accounting on one JSONL round line. Both bundled
+// transports report exact wire bytes, so the counts obey hard
+// invariants: traffic moves iff someone participated, and every
+// participant in a round moves the same number of bytes.
+void check_round_bytes(const std::string& path, std::size_t lineno,
+                       const JsonValue& value) {
+  const std::string where = path + ":" + std::to_string(lineno);
+  for (const char* key :
+       {"bytes_down", "bytes_up", "selected", "contributors"}) {
+    if (!value.contains(key)) {
+      fail(where + ": round line lacks \"" + std::string(key) + "\"");
+    }
+  }
+  const auto bytes_down =
+      static_cast<std::uint64_t>(value.at("bytes_down").as_number());
+  const auto bytes_up =
+      static_cast<std::uint64_t>(value.at("bytes_up").as_number());
+  const auto selected =
+      static_cast<std::uint64_t>(value.at("selected").as_number());
+  const auto contributors =
+      static_cast<std::uint64_t>(value.at("contributors").as_number());
+  if ((bytes_down > 0) != (selected > 0)) {
+    fail(where + ": bytes_down=" + std::to_string(bytes_down) +
+         " inconsistent with selected=" + std::to_string(selected));
+  }
+  if ((bytes_up > 0) != (contributors > 0)) {
+    fail(where + ": bytes_up=" + std::to_string(bytes_up) +
+         " inconsistent with contributors=" + std::to_string(contributors));
+  }
+  if (selected > 0 && bytes_down % selected != 0) {
+    fail(where + ": bytes_down=" + std::to_string(bytes_down) +
+         " not divisible by selected=" + std::to_string(selected));
+  }
+  if (contributors > 0 && bytes_up % contributors != 0) {
+    fail(where + ": bytes_up=" + std::to_string(bytes_up) +
+         " not divisible by contributors=" + std::to_string(contributors));
+  }
+}
+
 void lint_jsonl(const std::string& path) {
   std::ifstream in(path);
   if (!in) fail("cannot open " + path);
@@ -69,6 +112,7 @@ void lint_jsonl(const std::string& path) {
       fail(path + ":" + std::to_string(lineno) + ": line lacks \"round\"");
     } else {
       ++rounds;
+      check_round_bytes(path, lineno, value);
     }
   }
   if (lineno == 0) fail(path + ": empty file");
@@ -164,7 +208,7 @@ void lint_chrome(const std::string& path) {
   for (auto& [tid, tid_events] : x_by_tid) {
     check_nesting(tid, tid_events);
   }
-  for (const char* required : {"run", "round", "client_solve"}) {
+  for (const char* required : {"run", "round", "exchange"}) {
     if (!span_names.count(required)) {
       fail(path + ": missing required span \"" + std::string(required) +
            "\"");
