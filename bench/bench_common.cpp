@@ -28,6 +28,13 @@ BenchOptions parse_options(const CliFlags& flags) {
   options.profile_out = flags.get_optional_string("profile-out").value_or("");
   options.transport = flags.get_string("transport", "inprocess");
   parse_transport_kind(options.transport);  // fail fast on a bad value
+  if (auto faults = flags.get_optional_string("faults")) {
+    options.faults = parse_fault_profile(*faults);  // fail fast, too
+  }
+  options.recovery.max_retries =
+      static_cast<std::size_t>(flags.get_int("retries", 2));
+  options.recovery.deadline_ms = flags.get_double("deadline-ms", 0.0);
+  options.recovery.quorum = flags.get_double("quorum", 1.0);
   options.quick = flags.get_bool("quick", false);
   for (const auto& name : flags.unused()) {
     log_warn() << "ignoring unknown flag --" << name;
@@ -52,6 +59,18 @@ void apply_rounds(TrainerConfig& config, const Workload& workload,
   config.devices_per_round =
       std::min(config.devices_per_round, workload.data.num_clients());
   config.transport = make_transport(parse_transport_kind(options.transport));
+  apply_faults(config, options);
+}
+
+void apply_faults(TrainerConfig& config, const BenchOptions& options) {
+  config.faults = options.faults;
+  config.recovery = options.recovery;
+  if (options.faults.any()) {
+    log_info() << "channel faults: " << to_string(options.faults)
+               << " (retries " << options.recovery.max_retries << ", deadline "
+               << options.recovery.deadline_ms << " ms, quorum "
+               << options.recovery.quorum << ")";
+  }
 }
 
 TraceCapture::TraceCapture(const BenchOptions& options) {

@@ -10,6 +10,11 @@
 //   --profile-out P  write a Chrome trace-event span profile to P (obs/)
 //   --transport T    federation transport: inprocess (default, zero-copy)
 //                    or serialized (round-trip the binary wire format)
+//   --faults SPEC    inject channel faults (comm/fault.h), e.g.
+//                    drop=0.1,corrupt=0.01,delay_ms=50,duplicate=0.05
+//   --retries N      extra exchange attempts per device (default 2)
+//   --deadline-ms D  delivery deadline in simulated ms (0 = off)
+//   --quorum Q       aggregate once Q of selected devices reported (0, 1]
 //   --quick          very small run for smoke-testing the harness
 // and prints the paper-style series table to stdout plus a CSV per figure.
 
@@ -19,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/fault.h"
 #include "core/experiment.h"
 #include "core/registry.h"
 #include "obs/trace_sink.h"
@@ -36,6 +42,8 @@ struct BenchOptions {
   std::string trace_out;            // empty = tracing disabled
   std::string profile_out;          // empty = span profiler disabled
   std::string transport = "inprocess";  // parse_transport_kind values
+  FaultProfile faults;                  // all-zero = clean channel
+  RecoveryConfig recovery;              // retry/deadline/quorum policy
   bool quick = false;
 };
 
@@ -50,9 +58,14 @@ BenchOptions parse_options(const CliFlags& flags);
 Workload load_workload(const std::string& name, const BenchOptions& options);
 
 // Applies the round override / quick shrink to a config built from the
-// workload defaults.
+// workload defaults (includes apply_faults).
 void apply_rounds(TrainerConfig& config, const Workload& workload,
                   const BenchOptions& options);
+
+// Installs --faults/--retries/--deadline-ms/--quorum on the config and
+// logs the channel-fault banner. For drivers that size rounds themselves
+// instead of going through apply_rounds.
+void apply_faults(TrainerConfig& config, const BenchOptions& options);
 
 // Owns the JSONL trace sink + observer created from --trace-out, and the
 // span-profiler session created from --profile-out (enables the profiler

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   config.eval_every = 1;
   config.devices_per_round =
       std::min(config.devices_per_round, workload.data.num_clients());
+  apply_faults(config, options);
 
   // Warm-up (thread pool, page cache), then alternate baseline/observed
   // reps and keep the minimum of each — the standard way to strip

@@ -3,6 +3,8 @@
 //
 //   ./quickstart [--rounds 50] [--mu 1.0] [--stragglers 0.5]
 //                [--transport inprocess|serialized]
+//                [--faults drop=0.1,corrupt=0.01,delay_ms=50]
+//                [--retries 2] [--deadline-ms 0] [--quorum 1.0]
 //                [--trace-out trace.jsonl] [--profile-out run.trace.json]
 
 #include <iostream>
@@ -64,6 +66,21 @@ int main(int argc, char** argv) {
   const std::string transport = flags.get_string("transport", "inprocess");
   config.transport = make_transport(parse_transport_kind(transport));
   std::cout << "transport: " << config.transport->name() << "\n";
+
+  // --faults injects deterministic channel faults (drops, corruption,
+  // duplicates, latency) into the transport above; the recovery flags
+  // tune how the round driver rides them out. Same seed, same faults.
+  if (auto faults = flags.get_optional_string("faults")) {
+    config.faults = parse_fault_profile(*faults);
+    config.recovery.max_retries =
+        static_cast<std::size_t>(flags.get_int("retries", 2));
+    config.recovery.deadline_ms = flags.get_double("deadline-ms", 0.0);
+    config.recovery.quorum = flags.get_double("quorum", 1.0);
+    std::cout << "faults: " << to_string(config.faults) << " (retries "
+              << config.recovery.max_retries << ", deadline "
+              << config.recovery.deadline_ms << " ms, quorum "
+              << config.recovery.quorum << ")\n";
+  }
 
   // 3. Train, printing each evaluated round. With --trace-out a JSONL
   //    sink records per-phase wall times for every round; with

@@ -30,6 +30,10 @@ struct ModelBroadcast {
   DeviceBudget budget;                 // target device id + systems budget
   std::span<const double> parameters;  // the global model w^t
   std::span<const double> correction;  // FedDane linear term; empty otherwise
+  // Channel metadata, not payload: 0-based retransmission attempt set by
+  // the round driver's recovery loop. Keys the fault-injection RNG stream
+  // (comm/fault.h); never serialized, and invisible to the client.
+  std::size_t attempt = 0;
 };
 
 // A decoded broadcast that owns its buffers (what a serializing transport

@@ -22,18 +22,36 @@
 #include <memory>
 #include <string>
 
+#include "comm/fault.h"
 #include "comm/message.h"
 
 namespace fed {
 
 class ClientRuntime;
 
-// One device's completed round trip through the channel.
-struct ExchangeRecord {
-  ClientUpdate update;           // as the server received it
-  std::uint64_t bytes_down = 0;  // broadcast wire bytes, server -> device
-  std::uint64_t bytes_up = 0;    // update wire bytes, device -> server
+// How one exchange attempt ended. The bundled lossless transports always
+// deliver; only FaultInjectingTransport produces the failure states.
+enum class ExchangeStatus {
+  kDelivered,  // the update arrived intact
+  kDropped,    // the message was lost in flight; no update returned
+  kCorrupt,    // the update arrived damaged and was rejected
+};
 
+// One device's round trip through the channel (a single attempt; the
+// round driver's recovery policy decides whether a failed attempt is
+// retried).
+struct ExchangeRecord {
+  ExchangeStatus status = ExchangeStatus::kDelivered;
+  ClientUpdate update;           // as the server received it (kDelivered only)
+  std::uint64_t bytes_down = 0;  // broadcast wire bytes, server -> device
+  std::uint64_t bytes_up = 0;    // update wire bytes, device -> server (a
+                                 // dropped message moves none; a corrupt or
+                                 // duplicated one is charged per delivery)
+  double channel_delay_ms = 0.0; // injected latency (simulated, never slept)
+  bool duplicate = false;        // delivered twice; bytes_up covers both
+  std::string error;             // decoder/checksum message when kCorrupt
+
+  bool delivered() const { return status == ExchangeStatus::kDelivered; }
   const ClientResult& result() const { return update.result; }
 };
 
@@ -70,6 +88,36 @@ class SerializedTransport final : public Transport {
   ExchangeRecord exchange(const ModelBroadcast& broadcast,
                           const ClientRuntime& client) const override;
   std::string name() const override { return "serialized"; }
+};
+
+// Decorator that injects configurable channel faults into any inner
+// transport: message drops, payload corruption (applied to the real wire
+// encoding, so the FPB1/FPU1 decoders — plus a link-layer checksum for
+// damage inside the float64 payload — reject it), duplicate delivery,
+// and bounded latency. Every decision comes from a counter-keyed stream
+// (seed, kFault, round, device, attempt), so the same seed and profile
+// reproduce the same faults bit-for-bit regardless of threading; a
+// zero-fault profile is pass-through and leaves training bit-identical
+// to the bare inner transport.
+class FaultInjectingTransport final : public Transport {
+ public:
+  // Throws std::invalid_argument when the profile is out of range
+  // (probabilities outside [0, 1] or negative delay). `seed` should be
+  // the training seed; Trainer wraps its transport with exactly that.
+  FaultInjectingTransport(std::shared_ptr<const Transport> inner,
+                          FaultProfile profile, std::uint64_t seed);
+
+  ExchangeRecord exchange(const ModelBroadcast& broadcast,
+                          const ClientRuntime& client) const override;
+  std::string name() const override { return "faulty(" + inner_->name() + ")"; }
+
+  const FaultProfile& profile() const { return profile_; }
+  const Transport& inner() const { return *inner_; }
+
+ private:
+  std::shared_ptr<const Transport> inner_;
+  FaultProfile profile_;
+  std::uint64_t seed_;
 };
 
 enum class TransportKind { kInProcess, kSerialized };

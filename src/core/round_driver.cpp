@@ -1,5 +1,9 @@
 #include "core/round_driver.h"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
 #include "core/dissimilarity.h"
 #include "core/feddane.h"
 #include "obs/observer.h"
@@ -43,6 +47,64 @@ void RoundDriver::evaluate(const Vector& w, RoundMetrics& metrics,
   trace.evaluated = true;
 }
 
+RoundDriver::DeviceOutcome RoundDriver::exchange_with_recovery(
+    ModelBroadcast& broadcast, std::size_t round, std::size_t device) const {
+  const RecoveryConfig& recovery = config_.recovery;
+  DeviceOutcome oc;
+  double backoff = recovery.backoff_base_ms;
+  for (std::size_t attempt = 0; attempt <= recovery.max_retries; ++attempt) {
+    broadcast.attempt = attempt;
+    ExchangeRecord record = transport_.exchange(broadcast, runtime_);
+    ++oc.attempts;
+    oc.bytes_down += record.bytes_down;
+    oc.arrival_ms += record.channel_delay_ms;
+    switch (record.status) {
+      case ExchangeStatus::kDropped:
+        ++oc.drops;
+        oc.events.push_back({FaultEvent::Kind::kDrop, round, device, attempt,
+                             "update lost in flight"});
+        break;
+      case ExchangeStatus::kCorrupt:
+        ++oc.corruptions;
+        oc.failed_bytes_up += record.bytes_up;
+        oc.events.push_back({FaultEvent::Kind::kCorrupt, round, device,
+                             attempt, record.error});
+        break;
+      case ExchangeStatus::kDelivered:
+        if (recovery.deadline_ms > 0.0 &&
+            record.channel_delay_ms > recovery.deadline_ms) {
+          // Arrived past the round window: the server never saw it, so it
+          // moves no measured bytes (the FedAvg dropped-straggler rule).
+          ++oc.timeouts;
+          std::ostringstream detail;
+          detail << "delivery took " << record.channel_delay_ms
+                 << " ms, past the " << recovery.deadline_ms
+                 << " ms deadline";
+          oc.events.push_back({FaultEvent::Kind::kTimeout, round, device,
+                               attempt, detail.str()});
+          break;
+        }
+        if (record.duplicate) {
+          oc.events.push_back({FaultEvent::Kind::kDuplicate, round, device,
+                               attempt,
+                               "update delivered twice; deduplicated"});
+        }
+        oc.accepted = true;
+        oc.record = std::move(record);
+        return oc;
+    }
+    if (attempt < recovery.max_retries) {
+      oc.arrival_ms += backoff;  // simulated wait before the retry
+      backoff *= recovery.backoff_factor;
+    }
+  }
+  std::ostringstream detail;
+  detail << "no accepted update after " << oc.attempts << " attempts";
+  oc.events.push_back({FaultEvent::Kind::kDeviceFailed, round, device,
+                       oc.attempts, detail.str()});
+  return oc;
+}
+
 RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
                                                 Vector& w) {
   RoundOutput out;
@@ -82,11 +144,16 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   }
 
   // 4. Broadcast / local solve / collect, in parallel across devices:
-  //    each worker round-trips one device's exchange through the
-  //    transport. Workers only touch their own slot, so determinism is
-  //    untouched; byte counts are summed after the barrier.
+  //    each worker drives one device's exchange through the transport
+  //    under the recovery policy — bounded retries with simulated
+  //    exponential backoff, deadline classification — recording every
+  //    channel incident as a typed event. Workers only touch their own
+  //    outcome slot, and every fault decision comes from a counter-keyed
+  //    stream, so determinism is untouched; events, byte counts, and the
+  //    quorum cut are processed after the barrier on the round thread.
   const RoundConfig round_config = config_.round_config(mu);
-  std::vector<ExchangeRecord> exchanges(selected.size());
+  const RecoveryConfig& recovery = config_.recovery;
+  std::vector<DeviceOutcome> outcomes(selected.size());
   phase_timer.reset();
   {
     Span span("solve_parallel", "phase", "round",
@@ -105,40 +172,101 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
                                .parameters = w,
                                .correction = {}};
       if (!corrections.empty()) broadcast.correction = corrections[i];
-      exchanges[i] = transport_.exchange(broadcast, runtime_);
+      outcomes[i] = exchange_with_recovery(broadcast, t + 1, selected[i]);
     });
   }
   trace.solve_wall_seconds = phase_timer.seconds();
 
+  // Quorum cut, on the round thread: aggregation proceeds once
+  // ceil(quorum * selected) devices have reported by simulated arrival
+  // time; successes arriving after the cutoff are dropped like any other
+  // lost update. With a faultless channel every arrival is at 0 ms, so
+  // the cutoff keeps everyone and history stays bit-identical.
+  if (recovery.quorum < 1.0) {
+    std::vector<std::size_t> successes;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].accepted) successes.push_back(i);
+    }
+    const auto needed = static_cast<std::size_t>(std::ceil(
+        recovery.quorum * static_cast<double>(selected.size())));
+    if (successes.size() > needed && needed > 0) {
+      std::stable_sort(successes.begin(), successes.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return outcomes[a].arrival_ms < outcomes[b].arrival_ms;
+                       });
+      // Ties with the q-th earliest arrival are kept.
+      const double cutoff = outcomes[successes[needed - 1]].arrival_ms;
+      for (std::size_t i : successes) {
+        DeviceOutcome& oc = outcomes[i];
+        if (oc.arrival_ms <= cutoff) continue;
+        oc.accepted = false;
+        oc.quorum_dropped = true;
+        std::ostringstream detail;
+        detail << "arrived at " << oc.arrival_ms << " ms, after the quorum "
+               << "cutoff of " << cutoff << " ms (" << needed << "/"
+               << selected.size() << " reported)";
+        oc.events.push_back({FaultEvent::Kind::kQuorumDrop, t + 1, selected[i],
+                             oc.attempts - 1, detail.str()});
+      }
+    }
+  }
+
+  // Fault fan-out: per-device incidents in (selection order, attempt)
+  // order — quorum drops ride at the end of their device's list — all on
+  // the round thread. A healthy round emits nothing.
+  for (const auto& oc : outcomes) {
+    for (const auto& event : oc.events) {
+      for (auto* o : observers_) o->on_fault(event);
+    }
+  }
+
   for (auto* o : observers_) {
-    for (const auto& e : exchanges) o->on_client_result(t + 1, e.result());
+    for (const auto& oc : outcomes) {
+      if (oc.accepted) o->on_client_result(t + 1, oc.record.result());
+    }
   }
 
   // 5. Aggregate. FedAvg drops stragglers; FedProx/FedDane keep them.
-  //    Upload bytes are charged for contributors only — a dropped
-  //    straggler never reports back within the round window, so its
-  //    update moves no measured bytes.
+  //    Upload bytes are charged per delivery that reached the server in
+  //    the round window: accepted updates (twice when duplicated) and
+  //    corrupt arrivals, but not FedAvg-dropped stragglers, timeouts, or
+  //    quorum drops — those never report back within the window, so their
+  //    updates move no measured bytes.
   phase_timer.reset();
   std::vector<Contribution> contributions;
   std::uint64_t bytes_up = 0;
+  std::size_t up_deliveries = 0;
   std::size_t straggler_total = 0;
   bool updated = false;
   {
     Span span("aggregate", "phase", "round", static_cast<std::int64_t>(t + 1));
-    for (const auto& e : exchanges) {
-      const ClientResult& r = e.result();
+    for (const auto& oc : outcomes) {
+      if (!oc.accepted) continue;
+      const ClientResult& r = oc.record.result();
       if (r.straggler) ++straggler_total;
       if (config_.algorithm == Algorithm::kFedAvg && r.straggler) continue;
       contributions.push_back(
           {r.device, &r.update, static_cast<double>(r.num_samples)});
-      bytes_up += e.bytes_up;
+      bytes_up += oc.record.bytes_up;
+      up_deliveries += oc.record.duplicate ? 2 : 1;
     }
     updated = aggregate(config_.sampling, contributions, w);
   }
   trace.aggregate_seconds = phase_timer.seconds();
   if (!updated) {
-    log_debug() << "round " << t
-                << ": every selected device was dropped; keeping w";
+    // Degraded round: zero accepted updates survived to aggregation
+    // (every device failed, timed out, missed quorum, or — under FedAvg —
+    // straggled). The global model is kept unchanged; the round is marked
+    // degraded in the trace and reported as a single typed incident, not
+    // an error.
+    trace.degraded = true;
+    std::ostringstream detail;
+    detail << "0 of " << selected.size()
+           << " selected devices contributed an update; keeping w";
+    const FaultEvent event{FaultEvent::Kind::kRoundDegraded, t + 1, 0, 0,
+                           detail.str()};
+    for (auto* o : observers_) o->on_fault(event);
+    log_debug() << "round " << t + 1 << ": " << detail.str();
   }
 
   for (auto* o : observers_) {
@@ -148,13 +276,29 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   trace.selected = selected.size();
   trace.contributors = contributions.size();
   trace.stragglers = straggler_total;
-  for (const auto& e : exchanges) trace.bytes_down += e.bytes_down;
+  CommFaultStats& faults = trace.faults;
+  for (const auto& oc : outcomes) {
+    trace.bytes_down += oc.bytes_down;
+    bytes_up += oc.failed_bytes_up;  // corrupt arrivals, charged per attempt
+    faults.attempts += oc.attempts;
+    faults.drops += oc.drops;
+    faults.corruptions += oc.corruptions;
+    faults.timeouts += oc.timeouts;
+    faults.delay_ms += oc.arrival_ms;
+    if (oc.accepted && oc.record.duplicate) ++faults.duplicates;
+    if (oc.quorum_dropped) ++faults.quorum_drops;
+    if (!oc.accepted && !oc.quorum_dropped) ++faults.failed_devices;
+  }
+  faults.retries = faults.attempts - selected.size();
+  // Charged deliveries: contributor updates (twice when duplicated) plus
+  // corrupt arrivals, matching the bytes_up sum delivery for delivery.
+  faults.up_deliveries = up_deliveries + faults.corruptions;
   trace.bytes_up = bytes_up;
   {
     std::vector<double> solve_times;
-    solve_times.reserve(exchanges.size());
-    for (const auto& e : exchanges) {
-      solve_times.push_back(e.result().solve_seconds);
+    solve_times.reserve(outcomes.size());
+    for (const auto& oc : outcomes) {
+      if (oc.accepted) solve_times.push_back(oc.record.result().solve_seconds);
     }
     trace.solve = SolveStats::from_samples(solve_times);
   }
@@ -168,9 +312,9 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   if (config_.measure_gamma) {
     double total = 0.0;
     std::size_t count = 0;
-    for (const auto& e : exchanges) {
-      if (e.result().gamma_measured) {
-        total += e.result().gamma;
+    for (const auto& oc : outcomes) {
+      if (oc.accepted && oc.record.result().gamma_measured) {
+        total += oc.record.result().gamma;
         ++count;
       }
     }

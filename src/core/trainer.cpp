@@ -94,6 +94,14 @@ Trainer::Trainer(const Model& model, const FederatedDataset& data,
   }
   if (config_.theory_mu.enabled) config_.measure_dissimilarity = true;
   if (config_.eval_every == 0) config_.eval_every = 1;
+  if (config_.recovery.quorum <= 0.0 || config_.recovery.quorum > 1.0) {
+    throw std::invalid_argument("Trainer: recovery.quorum outside (0, 1]");
+  }
+  if (config_.recovery.backoff_base_ms < 0.0 ||
+      config_.recovery.backoff_factor < 1.0 ||
+      config_.recovery.deadline_ms < 0.0) {
+    throw std::invalid_argument("Trainer: bad recovery backoff/deadline");
+  }
   if (!config_.solver) config_.solver = std::make_shared<SgdSolver>();
 }
 
@@ -170,6 +178,10 @@ TrainHistory Trainer::run() {
   ClientRuntime runtime(model_, data_, *config_.solver, config_.seed);
   std::shared_ptr<const Transport> transport = config_.transport;
   if (!transport) transport = make_transport(TransportKind::kInProcess);
+  if (config_.faults.any()) {
+    transport = std::make_shared<FaultInjectingTransport>(
+        std::move(transport), config_.faults, config_.seed);
+  }
   RoundDriver driver(model_, data_, config_, *transport, runtime, pool,
                      observers_);
 

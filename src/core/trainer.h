@@ -35,6 +35,7 @@
 #include <memory>
 #include <optional>
 
+#include "comm/fault.h"
 #include "core/adaptive_mu.h"
 #include "core/dissimilarity.h"
 #include "data/dataset.h"
@@ -103,6 +104,14 @@ struct TrainerConfig {
   std::shared_ptr<const LocalSolver> solver;
   // Federation transport; nullptr means InProcessTransport (zero-copy).
   std::shared_ptr<const Transport> transport;
+  // Channel fault injection (comm/fault.h). When any knob is non-zero the
+  // trainer wraps `transport` in a FaultInjectingTransport keyed by
+  // `seed`; an all-zero profile changes nothing, bit-for-bit.
+  FaultProfile faults;
+  // Recovery policy the round driver applies per exchange: bounded
+  // retries with simulated exponential backoff, a delivery deadline, and
+  // quorum aggregation. Defaults are inert on a faultless channel.
+  RecoveryConfig recovery;
   // Warm start: when set, training begins from these parameters instead
   // of the model's seeded initialization (e.g. a loaded checkpoint).
   // `first_round` offsets the round counter so selection/straggler/batch

@@ -18,6 +18,7 @@ const char* to_string(HealthIncident::Kind kind) {
     case HealthIncident::Kind::kLossBlowup: return "loss_blowup";
     case HealthIncident::Kind::kStalledConvergence:
       return "stalled_convergence";
+    case HealthIncident::Kind::kDegradedRound: return "degraded_round";
   }
   return "?";
 }
@@ -33,6 +34,17 @@ void HealthMonitor::on_run_start(const RunInfo& info) {
   has_best_loss_ = false;
   evals_since_improvement_ = 0;
   stall_reported_ = false;
+}
+
+void HealthMonitor::on_fault(const FaultEvent& event) {
+  if (event.kind != FaultEvent::Kind::kRoundDegraded) return;
+  HealthIncident incident;
+  incident.kind = HealthIncident::Kind::kDegradedRound;
+  incident.round = event.round;
+  std::ostringstream msg;
+  msg << "round " << event.round << ": " << event.detail;
+  incident.message = msg.str();
+  record(std::move(incident), /*fatal=*/false);
 }
 
 void HealthMonitor::on_client_result(std::size_t round,

@@ -56,6 +56,7 @@ struct HealthIncident {
     kNonFiniteLoss,          // an evaluated loss is NaN/Inf
     kLossBlowup,             // loss > blowup_factor x running median
     kStalledConvergence,     // no improvement for stall_patience evals
+    kDegradedRound,          // a round aggregated zero updates; w was kept
   };
 
   Kind kind{};
@@ -88,6 +89,11 @@ class HealthMonitor final : public TrainingObserver {
                          MetricsRegistry* registry = nullptr);
 
   void on_run_start(const RunInfo& info) override;
+  // Individual channel faults (drop/corrupt/timeout/...) are the fault
+  // layer's normal operation and stay out of the incident log; a round
+  // degraded to zero contributions is recorded, never fatal — training
+  // legitimately continues with w unchanged.
+  void on_fault(const FaultEvent& event) override;
   void on_client_result(std::size_t round, const ClientResult& result) override;
   void on_aggregate(std::size_t round,
                     std::span<const double> weights) override;

@@ -152,16 +152,30 @@ std::string MetricsRegistry::render() const {
 }
 
 MetricsObserver::MetricsObserver(MetricsRegistry& registry)
-    : rounds_(registry.counter("fed_rounds_total")),
+    : registry_(registry),
+      rounds_(registry.counter("fed_rounds_total")),
       clients_(registry.counter("fed_clients_total")),
       stragglers_(registry.counter("fed_stragglers_total")),
       bytes_up_(registry.counter("fed_comm_bytes_up_total")),
       bytes_down_(registry.counter("fed_comm_bytes_down_total")),
+      faults_(registry.counter("fed_comm_faults_total")),
+      retries_(registry.counter("fed_comm_retries_total")),
+      degraded_rounds_(registry.counter("fed_comm_rounds_degraded_total")),
       mu_(registry.gauge("fed_mu")),
       train_loss_(registry.gauge("fed_train_loss")),
       round_(registry.gauge("fed_round")),
       round_seconds_(registry.histogram("fed_round_seconds")),
       solve_seconds_(registry.histogram("fed_client_solve_seconds")) {}
+
+void MetricsObserver::on_fault(const FaultEvent& event) {
+  faults_.add();
+  // Per-kind lookup takes the registry mutex, but on_fault runs on the
+  // round thread only and faults are the exception, not the steady state.
+  registry_
+      .counter(std::string("fed_comm_faults_") + to_string(event.kind) +
+               "_total")
+      .add();
+}
 
 void MetricsObserver::on_client_result(std::size_t round,
                                        const ClientResult& result) {
@@ -176,6 +190,8 @@ void MetricsObserver::on_round_end(const RoundMetrics& metrics,
   rounds_.add();
   bytes_up_.add(trace.bytes_up);
   bytes_down_.add(trace.bytes_down);
+  retries_.add(trace.faults.retries);
+  if (trace.degraded) degraded_rounds_.add();
   mu_.set(metrics.mu);
   round_.set(static_cast<double>(metrics.round));
   if (metrics.train_loss) train_loss_.set(*metrics.train_loss);

@@ -110,23 +110,31 @@ class MetricsRegistry {
 
 // Feeds a MetricsRegistry from the observer hooks. Instrument names:
 //   counters   fed_rounds_total, fed_clients_total, fed_stragglers_total,
-//              fed_comm_bytes_up_total, fed_comm_bytes_down_total
+//              fed_comm_bytes_up_total, fed_comm_bytes_down_total,
+//              fed_comm_faults_total (+ fed_comm_faults_<kind>_total per
+//              FaultEvent kind seen), fed_comm_retries_total,
+//              fed_comm_rounds_degraded_total
 //   gauges     fed_mu, fed_train_loss (last evaluated), fed_round
 //   histograms fed_round_seconds, fed_client_solve_seconds
 class MetricsObserver final : public TrainingObserver {
  public:
   explicit MetricsObserver(MetricsRegistry& registry);
 
+  void on_fault(const FaultEvent& event) override;
   void on_client_result(std::size_t round, const ClientResult& result) override;
   void on_round_end(const RoundMetrics& metrics,
                     const RoundTrace& trace) override;
 
  private:
+  MetricsRegistry& registry_;  // per-kind fault counters, created on demand
   Counter& rounds_;
   Counter& clients_;
   Counter& stragglers_;
   Counter& bytes_up_;
   Counter& bytes_down_;
+  Counter& faults_;
+  Counter& retries_;
+  Counter& degraded_rounds_;
   Gauge& mu_;
   Gauge& train_loss_;
   Gauge& round_;

@@ -15,6 +15,10 @@ void CompositeObserver::on_round_start(std::size_t round,
   for (auto* child : children_) child->on_round_start(round, selected);
 }
 
+void CompositeObserver::on_fault(const FaultEvent& event) {
+  for (auto* child : children_) child->on_fault(event);
+}
+
 void CompositeObserver::on_client_result(std::size_t round,
                                          const ClientResult& result) {
   for (auto* child : children_) child->on_client_result(round, result);

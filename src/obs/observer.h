@@ -24,6 +24,7 @@
 #include <span>
 #include <string>
 
+#include "comm/fault.h"
 #include "core/trainer.h"
 #include "obs/trace.h"
 #include "sim/client.h"
@@ -57,8 +58,17 @@ class TrainingObserver {
     (void)selected;
   }
 
-  // Once per selected device per training round, after the parallel
-  // solves complete, in selection order (deterministic).
+  // Once per channel incident (comm/fault.h) per training round, after
+  // the parallel exchanges complete, in (selection order, attempt)
+  // order — then any quorum drops and at most one round-degraded event.
+  // Only emitted when a fault-injecting transport or degraded round
+  // produced incidents; a healthy round emits none.
+  virtual void on_fault(const FaultEvent& event) { (void)event; }
+
+  // Once per accepted device update per training round, after the
+  // parallel solves complete, in selection order (deterministic). A
+  // device whose exchanges all failed, or whose update arrived past the
+  // quorum cutoff, does not report here.
   virtual void on_client_result(std::size_t round, const ClientResult& result) {
     (void)round;
     (void)result;
@@ -95,6 +105,7 @@ class CompositeObserver final : public TrainingObserver {
   void on_run_start(const RunInfo& info) override;
   void on_round_start(std::size_t round,
                       std::span<const std::size_t> selected) override;
+  void on_fault(const FaultEvent& event) override;
   void on_client_result(std::size_t round, const ClientResult& result) override;
   void on_aggregate(std::size_t round,
                     std::span<const double> weights) override;

@@ -35,6 +35,18 @@ JsonValue trace_to_json(const RoundTrace& trace) {
   phases["aggregate_s"] = trace.aggregate_seconds;
   phases["eval_s"] = trace.eval_seconds;
 
+  JsonObject faults;
+  faults["attempts"] = trace.faults.attempts;
+  faults["retries"] = trace.faults.retries;
+  faults["drops"] = trace.faults.drops;
+  faults["corruptions"] = trace.faults.corruptions;
+  faults["timeouts"] = trace.faults.timeouts;
+  faults["duplicates"] = trace.faults.duplicates;
+  faults["quorum_drops"] = trace.faults.quorum_drops;
+  faults["failed_devices"] = trace.faults.failed_devices;
+  faults["up_deliveries"] = trace.faults.up_deliveries;
+  faults["delay_ms"] = trace.faults.delay_ms;
+
   JsonObject out;
   out["round"] = trace.round;
   out["evaluated"] = trace.evaluated;
@@ -42,6 +54,8 @@ JsonValue trace_to_json(const RoundTrace& trace) {
   out["contributors"] = trace.contributors;
   out["stragglers"] = trace.stragglers;
   out["phases"] = std::move(phases);
+  out["faults"] = std::move(faults);
+  out["degraded"] = trace.degraded;
   out["round_s"] = trace.round_seconds;
   out["bytes_down"] = trace.bytes_down;
   out["bytes_up"] = trace.bytes_up;
@@ -58,6 +72,10 @@ void TraceSummary::accumulate(const RoundTrace& trace) {
   eval_seconds += trace.eval_seconds;
   bytes_down += trace.bytes_down;
   bytes_up += trace.bytes_up;
+  faults += trace.faults.drops + trace.faults.corruptions +
+            trace.faults.timeouts + trace.faults.duplicates;
+  retries += trace.faults.retries;
+  if (trace.degraded) ++degraded_rounds;
 }
 
 TraceSummary summarize(std::span<const RoundTrace> traces) {

@@ -31,12 +31,30 @@ struct SolveStats {
   static SolveStats from_samples(std::span<const double> seconds);
 };
 
+// Channel fault and recovery accounting for one round (comm/fault.h).
+// All counts are zero on a faultless channel, where attempts == selected
+// and up_deliveries == contributors — the pre-fault invariants.
+struct CommFaultStats {
+  std::size_t attempts = 0;       // transport exchange attempts
+  std::size_t retries = 0;        // attempts beyond each device's first
+  std::size_t drops = 0;          // attempts whose update was lost
+  std::size_t corruptions = 0;    // attempts rejected as corrupt
+  std::size_t timeouts = 0;       // attempts past the delivery deadline
+  std::size_t duplicates = 0;     // accepted updates delivered twice
+  std::size_t quorum_drops = 0;   // successes after the quorum cutoff
+  std::size_t failed_devices = 0; // selected devices with no accepted update
+  std::size_t up_deliveries = 0;  // update deliveries charged to bytes_up
+  double delay_ms = 0.0;          // injected latency + backoff, simulated
+};
+
 struct RoundTrace {
   std::size_t round = 0;
   bool evaluated = false;        // eval_seconds covers a real evaluation
   std::size_t selected = 0;      // devices selected this round
   std::size_t contributors = 0;  // devices aggregated
-  std::size_t stragglers = 0;    // stragglers among selected
+  std::size_t stragglers = 0;    // stragglers among delivered updates
+  CommFaultStats faults;         // channel fault/recovery accounting
+  bool degraded = false;         // aggregation saw zero updates; w was kept
 
   // Phase wall times, in seconds, measured on the round thread.
   double sampling_seconds = 0.0;    // device selection + budget assignment
@@ -69,6 +87,9 @@ struct TraceSummary {
   double eval_seconds = 0.0;
   std::uint64_t bytes_down = 0;
   std::uint64_t bytes_up = 0;
+  std::size_t faults = 0;           // drops + corruptions + timeouts + dups
+  std::size_t retries = 0;
+  std::size_t degraded_rounds = 0;
 
   void accumulate(const RoundTrace& trace);
 };

@@ -31,6 +31,7 @@ enum class StreamKind : std::uint64_t {
   kMinibatch = 6,        // per-device mini-batch shuffling
   kSolver = 7,           // any extra solver randomness
   kTest = 8,             // reserved for unit tests
+  kFault = 9,            // channel fault injection (comm/fault.h)
 };
 
 // xoshiro256++ engine with SplitMix64 key expansion. Satisfies

@@ -180,7 +180,9 @@ class ByteReader {
     if (buffer_.size() - pos_ < n) {
       throw std::runtime_error(std::string(what_) + ": truncated");
     }
-    std::memcpy(p, buffer_.data() + pos_, n);
+    if (n > 0) {  // empty Vector::data() may be null; memcpy(null,..,0) is UB
+      std::memcpy(p, buffer_.data() + pos_, n);
+    }
     pos_ += n;
   }
   std::span<const std::uint8_t> buffer_;

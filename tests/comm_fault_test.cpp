@@ -1,0 +1,408 @@
+// The fault-injection and recovery layer: profile parsing, deterministic
+// chaos (same seed + profile => bit-identical training, regardless of
+// thread count), recovery accounting invariants on every trace, quorum
+// and deadline semantics, and the degraded-round path that keeps w when
+// a round loses every device. The chaos soak here is the repo's standing
+// robustness gate: a hostile channel at high fault rates must still
+// train, and must do so reproducibly.
+
+#include "comm/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "comm/transport.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "support/log.h"
+
+namespace fed {
+namespace {
+
+// Collects every FaultEvent fanned out by the round driver.
+struct FaultEventCollector : TrainingObserver {
+  std::map<FaultEvent::Kind, std::size_t> counts;
+  std::vector<FaultEvent> events;
+
+  void on_fault(const FaultEvent& event) override {
+    ++counts[event.kind];
+    events.push_back(event);
+  }
+
+  std::size_t count(FaultEvent::Kind kind) const {
+    const auto it = counts.find(kind);
+    return it == counts.end() ? 0 : it->second;
+  }
+};
+
+class CommFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kWarn); }
+
+  static const FederatedDataset& data() {
+    static const FederatedDataset d = [] {
+      SyntheticConfig c = synthetic_config(1.0, 1.0, 47);
+      c.num_devices = 10;
+      c.min_samples = 12;
+      c.mean_log = 2.5;
+      c.sigma_log = 0.4;
+      return make_synthetic(c);
+    }();
+    return d;
+  }
+
+  static TrainerConfig chaos_config() {
+    TrainerConfig c;
+    c.algorithm = Algorithm::kFedProx;
+    c.mu = 1.0;
+    c.rounds = 40;
+    c.devices_per_round = 5;
+    c.systems.epochs = 2;
+    c.systems.straggler_fraction = 0.3;
+    c.learning_rate = 0.05;
+    c.seed = 47;
+    c.eval_every = 5;
+    c.threads = 1;
+    c.faults = FaultProfile{.drop = 0.2,
+                            .corrupt = 0.05,
+                            .duplicate = 0.05,
+                            .delay_ms = 50.0};
+    c.recovery.max_retries = 2;
+    c.recovery.deadline_ms = 45.0;
+    c.recovery.quorum = 0.6;
+    return c;
+  }
+
+  struct RunArtifacts {
+    TrainHistory history;
+    std::vector<RoundTrace> traces;
+    std::map<FaultEvent::Kind, std::size_t> events;
+    std::vector<HealthIncident> incidents;
+  };
+
+  static RunArtifacts run(TrainerConfig config,
+                          MetricsRegistry* registry = nullptr) {
+    LogisticRegression model(data().input_dim, data().num_classes);
+    Trainer trainer(model, data(), config);
+    TraceCollector traces;
+    FaultEventCollector events;
+    HealthMonitor health(HealthConfig{}, registry);
+    std::unique_ptr<MetricsObserver> metrics;
+    trainer.add_observer(traces);
+    trainer.add_observer(events);
+    trainer.add_observer(health);
+    if (registry) {
+      metrics = std::make_unique<MetricsObserver>(*registry);
+      trainer.add_observer(*metrics);
+    }
+    RunArtifacts out;
+    out.history = trainer.run();
+    out.traces = traces.traces();
+    out.events = events.counts;
+    out.incidents = health.incidents();
+    return out;
+  }
+
+  // The recovery-accounting invariants every round trace must satisfy
+  // (the same set tools/trace_lint enforces on JSONL artifacts).
+  static void check_trace_invariants(const RoundTrace& t) {
+    const CommFaultStats& f = t.faults;
+    ASSERT_GE(f.attempts, t.selected);
+    EXPECT_EQ(f.retries, f.attempts - t.selected);
+    EXPECT_GE(f.drops + f.corruptions + f.timeouts, f.retries);
+    EXPECT_LE(t.contributors, t.selected);
+    if (t.degraded) {
+      EXPECT_EQ(t.contributors, 0u);
+    }
+    if (t.selected > 0 && t.contributors == 0) {
+      EXPECT_TRUE(t.degraded);
+    }
+    EXPECT_EQ(t.bytes_down > 0, f.attempts > 0);
+    EXPECT_EQ(t.bytes_up > 0, f.up_deliveries > 0);
+    if (f.attempts > 0) {
+      EXPECT_EQ(t.bytes_down % f.attempts, 0u);
+    }
+    if (f.up_deliveries > 0) {
+      EXPECT_EQ(t.bytes_up % f.up_deliveries, 0u);
+    }
+  }
+
+  static void expect_bit_identical(const TrainHistory& a,
+                                   const TrainHistory& b) {
+    EXPECT_EQ(a.final_parameters, b.final_parameters);  // exact doubles
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+      EXPECT_EQ(a.rounds[i].train_loss, b.rounds[i].train_loss);
+      EXPECT_EQ(a.rounds[i].contributors, b.rounds[i].contributors);
+      EXPECT_EQ(a.rounds[i].stragglers, b.rounds[i].stragglers);
+    }
+  }
+};
+
+TEST_F(CommFaultTest, ProfileParsesValidatesAndPrints) {
+  const FaultProfile p =
+      parse_fault_profile("drop=0.1,corrupt=0.01,delay_ms=50,duplicate=0.05");
+  EXPECT_DOUBLE_EQ(p.drop, 0.1);
+  EXPECT_DOUBLE_EQ(p.corrupt, 0.01);
+  EXPECT_DOUBLE_EQ(p.duplicate, 0.05);
+  EXPECT_DOUBLE_EQ(p.delay_ms, 50.0);
+  EXPECT_TRUE(p.any());
+  EXPECT_EQ(to_string(p), "drop=0.1,corrupt=0.01,duplicate=0.05,delay_ms=50");
+
+  EXPECT_FALSE(parse_fault_profile("").any());
+  EXPECT_EQ(to_string(FaultProfile{}), "none");
+
+  EXPECT_THROW(parse_fault_profile("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_profile("drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_profile("delay_ms=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_profile("jitter=0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_profile("drop"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_profile("drop=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_profile("drop=0.1x"), std::invalid_argument);
+}
+
+TEST_F(CommFaultTest, EventKindsHaveStableSlugs) {
+  EXPECT_STREQ(to_string(FaultEvent::Kind::kDrop), "drop");
+  EXPECT_STREQ(to_string(FaultEvent::Kind::kCorrupt), "corrupt");
+  EXPECT_STREQ(to_string(FaultEvent::Kind::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(FaultEvent::Kind::kDuplicate), "duplicate");
+  EXPECT_STREQ(to_string(FaultEvent::Kind::kDeviceFailed), "device_failed");
+  EXPECT_STREQ(to_string(FaultEvent::Kind::kQuorumDrop), "quorum_drop");
+  EXPECT_STREQ(to_string(FaultEvent::Kind::kRoundDegraded), "round_degraded");
+}
+
+TEST_F(CommFaultTest, RecoveryConfigIsValidatedUpFront) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TrainerConfig c = chaos_config();
+  c.recovery.quorum = 0.0;
+  EXPECT_THROW(Trainer(model, data(), c), std::invalid_argument);
+  c = chaos_config();
+  c.recovery.quorum = 1.5;
+  EXPECT_THROW(Trainer(model, data(), c), std::invalid_argument);
+  c = chaos_config();
+  c.recovery.backoff_factor = 0.5;
+  EXPECT_THROW(Trainer(model, data(), c), std::invalid_argument);
+  c = chaos_config();
+  c.faults.drop = 2.0;  // caught when the trainer wraps the transport
+  EXPECT_THROW(Trainer(model, data(), c).run(), std::invalid_argument);
+}
+
+// The tentpole gate: a hostile channel (20% drop, 5% corruption, 5%
+// duplicates, latency against a deadline, quorum aggregation) must still
+// train — loss falls, no fatal incidents — and must be bit-reproducible
+// run to run and across thread counts.
+TEST_F(CommFaultTest, ChaosSoakConvergesWithoutFatalIncidents) {
+  MetricsRegistry registry;
+  const RunArtifacts a = run(chaos_config(), &registry);
+
+  // Converges: the last evaluated loss improves on the initial model.
+  const double first_loss = *a.history.rounds.front().train_loss;
+  const double last_loss = *a.history.final_metrics().train_loss;
+  EXPECT_LT(last_loss, first_loss);
+  EXPECT_FALSE(a.history.diverged());
+
+  // The channel actually was hostile, and recovery actually ran.
+  std::size_t drops = 0, corruptions = 0, retries = 0, contributors = 0;
+  for (const RoundTrace& t : a.traces) {
+    check_trace_invariants(t);
+    drops += t.faults.drops;
+    corruptions += t.faults.corruptions;
+    retries += t.faults.retries;
+    contributors += t.contributors;
+  }
+  EXPECT_GT(drops, 0u);
+  EXPECT_GT(corruptions, 0u);
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(contributors, 0u);
+
+  // Events fanned out to observers reconcile with the trace counters.
+  const auto event_count = [&](FaultEvent::Kind kind) {
+    const auto it = a.events.find(kind);
+    return it == a.events.end() ? std::size_t{0} : it->second;
+  };
+  EXPECT_EQ(event_count(FaultEvent::Kind::kDrop), drops);
+  EXPECT_EQ(event_count(FaultEvent::Kind::kCorrupt), corruptions);
+
+  // No fatal incidents: the run completed, and anything the health
+  // monitor recorded is a non-fatal degraded round.
+  for (const HealthIncident& incident : a.incidents) {
+    EXPECT_EQ(incident.kind, HealthIncident::Kind::kDegradedRound);
+  }
+
+  // Registry counters went where the ISSUE says they go.
+  EXPECT_GT(registry.counter("fed_comm_faults_total").value(), 0u);
+  EXPECT_EQ(registry.counter("fed_comm_faults_drop_total").value(), drops);
+  EXPECT_EQ(registry.counter("fed_comm_retries_total").value(), retries);
+
+  // Bit-reproducible: an identical config replays the identical run.
+  const RunArtifacts b = run(chaos_config());
+  expect_bit_identical(a.history, b.history);
+  EXPECT_EQ(a.events, b.events);
+
+  // ... regardless of thread count.
+  TrainerConfig threaded = chaos_config();
+  threaded.threads = 4;
+  const RunArtifacts c = run(threaded);
+  expect_bit_identical(a.history, c.history);
+  EXPECT_EQ(a.events, c.events);
+}
+
+// Satellite regression: a round that loses every device must keep w
+// bit-unchanged, mark the trace degraded, and leave the metrics
+// well-defined — not crash, not silently reuse stale updates.
+TEST_F(CommFaultTest, AllDroppedRoundKeepsParametersAndReportsDegraded) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TrainerConfig c = chaos_config();
+  c.rounds = 3;
+  c.eval_every = 1;
+  c.faults = FaultProfile{.drop = 1.0};
+  c.recovery = RecoveryConfig{.max_retries = 1};
+  c.initial_parameters = Vector(model.parameter_count(), 0.125);
+
+  MetricsRegistry registry;
+  const RunArtifacts a = run(c, &registry);
+
+  EXPECT_EQ(a.history.final_parameters,
+            Vector(model.parameter_count(), 0.125));
+  ASSERT_EQ(a.traces.size(), c.rounds + 1);  // + the round-0 evaluation
+  for (std::size_t i = 1; i < a.traces.size(); ++i) {
+    const RoundTrace& t = a.traces[i];
+    check_trace_invariants(t);
+    EXPECT_TRUE(t.degraded);
+    EXPECT_EQ(t.contributors, 0u);
+    EXPECT_EQ(t.faults.failed_devices, t.selected);
+    EXPECT_EQ(t.faults.attempts, t.selected * 2);  // 1 retry each
+    EXPECT_EQ(t.bytes_up, 0u);
+    EXPECT_GT(t.bytes_down, 0u);  // broadcasts were still charged
+  }
+  for (const RoundMetrics& m : a.history.rounds) {
+    EXPECT_TRUE(m.evaluated());
+    EXPECT_TRUE(std::isfinite(*m.train_loss));
+    EXPECT_EQ(m.contributors, 0u);
+  }
+  const auto degraded_events = a.events.find(FaultEvent::Kind::kRoundDegraded);
+  ASSERT_NE(degraded_events, a.events.end());
+  EXPECT_EQ(degraded_events->second, c.rounds);
+  EXPECT_EQ(a.incidents.size(), c.rounds);  // one non-fatal incident each
+  EXPECT_EQ(registry.counter("fed_comm_rounds_degraded_total").value(),
+            c.rounds);
+}
+
+// Satellite regression: FedAvg with every device straggling degrades the
+// round at aggregation even on a perfect channel — previously a silent
+// log line, now a degraded trace + incident.
+TEST_F(CommFaultTest, FedAvgAllStragglersDegradesWithoutChannelFaults) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TrainerConfig c;
+  c.algorithm = Algorithm::kFedAvg;
+  c.rounds = 2;
+  c.devices_per_round = 5;
+  c.systems.epochs = 2;
+  c.systems.straggler_fraction = 1.0;
+  c.learning_rate = 0.05;
+  c.seed = 47;
+  c.threads = 1;
+  c.initial_parameters = Vector(model.parameter_count(), -0.5);
+
+  const RunArtifacts a = run(c);
+  EXPECT_EQ(a.history.final_parameters,
+            Vector(model.parameter_count(), -0.5));
+  for (std::size_t i = 1; i < a.traces.size(); ++i) {
+    const RoundTrace& t = a.traces[i];
+    check_trace_invariants(t);
+    EXPECT_TRUE(t.degraded);
+    EXPECT_EQ(t.stragglers, t.selected);
+    // No channel faults: every exchange delivered on the first attempt.
+    EXPECT_EQ(t.faults.attempts, t.selected);
+    EXPECT_EQ(t.faults.failed_devices, 0u);
+    EXPECT_EQ(t.bytes_up, 0u);  // dropped stragglers never report back
+  }
+  EXPECT_EQ(a.incidents.size(), c.rounds);
+  for (const HealthIncident& incident : a.incidents) {
+    EXPECT_EQ(incident.kind, HealthIncident::Kind::kDegradedRound);
+  }
+}
+
+TEST_F(CommFaultTest, QuorumCutsLateArrivalsDeterministically) {
+  TrainerConfig c = chaos_config();
+  c.rounds = 4;
+  c.faults = FaultProfile{.delay_ms = 100.0};  // latency only, no losses
+  c.recovery = RecoveryConfig{.max_retries = 0, .quorum = 0.2};
+
+  const RunArtifacts a = run(c);
+  std::size_t quorum_drops = 0;
+  for (std::size_t i = 1; i < a.traces.size(); ++i) {
+    const RoundTrace& t = a.traces[i];
+    check_trace_invariants(t);
+    // Every exchange succeeds; the quorum cut is the only update killer.
+    EXPECT_EQ(t.contributors + t.faults.quorum_drops, t.selected);
+    EXPECT_GE(t.contributors, 1u);  // ceil(0.2 * 5)
+    quorum_drops += t.faults.quorum_drops;
+  }
+  EXPECT_GT(quorum_drops, 0u);
+  const auto it = a.events.find(FaultEvent::Kind::kQuorumDrop);
+  ASSERT_NE(it, a.events.end());
+  EXPECT_EQ(it->second, quorum_drops);
+
+  const RunArtifacts b = run(c);
+  expect_bit_identical(a.history, b.history);
+}
+
+TEST_F(CommFaultTest, DeadlineClassifiesLateDeliveriesAsTimeouts) {
+  TrainerConfig c = chaos_config();
+  c.rounds = 6;
+  c.faults = FaultProfile{.delay_ms = 100.0};
+  c.recovery = RecoveryConfig{.max_retries = 2, .deadline_ms = 20.0};
+
+  const RunArtifacts a = run(c);
+  std::size_t timeouts = 0;
+  for (std::size_t i = 1; i < a.traces.size(); ++i) {
+    check_trace_invariants(a.traces[i]);
+    timeouts += a.traces[i].faults.timeouts;
+    // A timed-out delivery moves no upload bytes and is not a drop or a
+    // corruption.
+    EXPECT_EQ(a.traces[i].faults.drops, 0u);
+    EXPECT_EQ(a.traces[i].faults.corruptions, 0u);
+  }
+  EXPECT_GT(timeouts, 0u);
+  const auto it = a.events.find(FaultEvent::Kind::kTimeout);
+  ASSERT_NE(it, a.events.end());
+  EXPECT_EQ(it->second, timeouts);
+}
+
+TEST_F(CommFaultTest, CorruptionIsAlwaysDetectedAndTyped) {
+  // With corruption at 100% and no retries every round degrades: every
+  // damaged update must be rejected via a typed event carrying the
+  // decoder/checksum message — silent acceptance would train on garbage.
+  TrainerConfig c = chaos_config();
+  c.rounds = 3;
+  c.faults = FaultProfile{.corrupt = 1.0};
+  c.recovery = RecoveryConfig{.max_retries = 0};
+  LogisticRegression model(data().input_dim, data().num_classes);
+  c.initial_parameters = Vector(model.parameter_count(), 0.25);
+
+  for (const TransportKind kind :
+       {TransportKind::kInProcess, TransportKind::kSerialized}) {
+    TrainerConfig variant = c;
+    variant.transport = make_transport(kind);
+    const RunArtifacts a = run(variant);
+    EXPECT_EQ(a.history.final_parameters,
+              Vector(model.parameter_count(), 0.25));
+    std::size_t corrupt_events = 0;
+    for (const auto& [kind_seen, count] : a.events) {
+      if (kind_seen == FaultEvent::Kind::kCorrupt) corrupt_events = count;
+    }
+    EXPECT_GT(corrupt_events, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fed

@@ -170,6 +170,35 @@ TEST_F(CommTransportTest, ClientRuntimeValidatesTheBroadcast) {
   EXPECT_THROW(runtime.handle(b.view()), std::invalid_argument);
 }
 
+TEST_F(CommTransportTest, ZeroFaultWrapperIsBitIdenticalPassThrough) {
+  // A FaultInjectingTransport with an all-zero profile must be invisible:
+  // wrapping either inner transport leaves TrainHistory bit-identical,
+  // so turning the fault layer "on but quiet" can never perturb results.
+  for (const TransportKind kind :
+       {TransportKind::kInProcess, TransportKind::kSerialized}) {
+    const TrainerConfig c = base_config(Algorithm::kFedProx);
+    const TrainHistory bare = run(c, kind);
+
+    TrainerConfig wrapped = c;
+    wrapped.transport = std::make_shared<FaultInjectingTransport>(
+        make_transport(kind), FaultProfile{}, c.seed);
+    LogisticRegression model(data().input_dim, data().num_classes);
+    const TrainHistory faulty = Trainer(model, data(), wrapped).run();
+    expect_bit_identical(bare, faulty);
+  }
+}
+
+TEST_F(CommTransportTest, FaultWrapperNamesItsInner) {
+  const auto wrapped = std::make_shared<FaultInjectingTransport>(
+      make_transport(TransportKind::kSerialized), FaultProfile{}, 7);
+  EXPECT_EQ(wrapped->name(), "faulty(serialized)");
+  EXPECT_THROW(FaultInjectingTransport(nullptr, FaultProfile{}, 7),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjectingTransport(make_transport(TransportKind::kInProcess),
+                                       FaultProfile{.drop = -0.5}, 7),
+               std::invalid_argument);
+}
+
 TEST_F(CommTransportTest, KindParsesAndPrints) {
   EXPECT_EQ(parse_transport_kind("inprocess"), TransportKind::kInProcess);
   EXPECT_EQ(parse_transport_kind("serialized"), TransportKind::kSerialized);

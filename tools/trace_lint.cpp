@@ -5,10 +5,12 @@
 //
 // JSONL checks: every line parses as a JSON object, the first line is the
 // run header ({"run":{...}}), every later line carries a "round", and the
-// transport byte accounting holds — bytes_down/bytes_up present on every
-// round line, non-zero exactly when devices were selected / contributed,
-// and divisible by the participant count (every device moves the same
-// wire-format payload within a round).
+// transport byte/fault accounting holds — bytes_down/bytes_up and the
+// "faults" object present on every round line, bytes non-zero exactly
+// when attempts were made / deliveries charged, and divisible by the
+// attempt / delivery count (every device moves the same wire-format
+// payload within a round, per attempt); retries reconcile with the
+// failed-attempt counts, and a degraded round has zero contributors.
 // Chrome checks: the document parses, traceEvents is non-empty, "X"
 // events nest properly per thread (a stack check over ts/dur), async
 // "b"/"e" pairs match up by id, the run/round/exchange spans are
@@ -47,42 +49,85 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
-// Transport byte accounting on one JSONL round line. Both bundled
-// transports report exact wire bytes, so the counts obey hard
-// invariants: traffic moves iff someone participated, and every
-// participant in a round moves the same number of bytes.
-void check_round_bytes(const std::string& path, std::size_t lineno,
-                       const JsonValue& value) {
+// Transport byte and fault accounting on one JSONL round line. Both
+// bundled transports report exact wire bytes, and the fault layer
+// charges them per attempt/delivery, so the counts obey hard
+// invariants: traffic moves iff an attempt was made / a delivery was
+// charged, every attempt moves the same broadcast bytes, every charged
+// delivery moves the same update bytes, retries reconcile with the
+// failed-attempt counts, and a degraded round aggregated nothing.
+void check_round_line(const std::string& path, std::size_t lineno,
+                      const JsonValue& value) {
   const std::string where = path + ":" + std::to_string(lineno);
-  for (const char* key :
-       {"bytes_down", "bytes_up", "selected", "contributors"}) {
+  for (const char* key : {"bytes_down", "bytes_up", "selected", "contributors",
+                          "faults", "degraded"}) {
     if (!value.contains(key)) {
       fail(where + ": round line lacks \"" + std::string(key) + "\"");
     }
   }
-  const auto bytes_down =
-      static_cast<std::uint64_t>(value.at("bytes_down").as_number());
-  const auto bytes_up =
-      static_cast<std::uint64_t>(value.at("bytes_up").as_number());
-  const auto selected =
-      static_cast<std::uint64_t>(value.at("selected").as_number());
-  const auto contributors =
-      static_cast<std::uint64_t>(value.at("contributors").as_number());
-  if ((bytes_down > 0) != (selected > 0)) {
+  const JsonValue& faults = value.at("faults");
+  for (const char* key :
+       {"attempts", "retries", "drops", "corruptions", "timeouts",
+        "duplicates", "quorum_drops", "failed_devices", "up_deliveries"}) {
+    if (!faults.contains(key)) {
+      fail(where + ": faults object lacks \"" + std::string(key) + "\"");
+    }
+  }
+  const auto count = [&](const JsonValue& obj, const char* key) {
+    return static_cast<std::uint64_t>(obj.at(key).as_number());
+  };
+  const std::uint64_t bytes_down = count(value, "bytes_down");
+  const std::uint64_t bytes_up = count(value, "bytes_up");
+  const std::uint64_t selected = count(value, "selected");
+  const std::uint64_t contributors = count(value, "contributors");
+  const bool degraded = value.at("degraded").as_bool();
+  const std::uint64_t attempts = count(faults, "attempts");
+  const std::uint64_t retries = count(faults, "retries");
+  const std::uint64_t failed_attempts = count(faults, "drops") +
+                                        count(faults, "corruptions") +
+                                        count(faults, "timeouts");
+  const std::uint64_t up_deliveries = count(faults, "up_deliveries");
+
+  if (attempts < selected) {
+    fail(where + ": attempts=" + std::to_string(attempts) +
+         " < selected=" + std::to_string(selected) +
+         " (every selected device attempts at least once)");
+  }
+  if (retries != attempts - selected) {
+    fail(where + ": retries=" + std::to_string(retries) +
+         " != attempts-selected=" + std::to_string(attempts - selected));
+  }
+  if (failed_attempts < retries) {
+    fail(where + ": drops+corruptions+timeouts=" +
+         std::to_string(failed_attempts) + " < retries=" +
+         std::to_string(retries) + " (every retry follows a failed attempt)");
+  }
+  if (contributors > selected) {
+    fail(where + ": contributors=" + std::to_string(contributors) +
+         " > selected=" + std::to_string(selected));
+  }
+  if (degraded && contributors != 0) {
+    fail(where + ": degraded round has contributors=" +
+         std::to_string(contributors));
+  }
+  if (selected > 0 && contributors == 0 && !degraded) {
+    fail(where + ": zero contributors but the round is not marked degraded");
+  }
+  if ((bytes_down > 0) != (attempts > 0)) {
     fail(where + ": bytes_down=" + std::to_string(bytes_down) +
-         " inconsistent with selected=" + std::to_string(selected));
+         " inconsistent with attempts=" + std::to_string(attempts));
   }
-  if ((bytes_up > 0) != (contributors > 0)) {
+  if ((bytes_up > 0) != (up_deliveries > 0)) {
     fail(where + ": bytes_up=" + std::to_string(bytes_up) +
-         " inconsistent with contributors=" + std::to_string(contributors));
+         " inconsistent with up_deliveries=" + std::to_string(up_deliveries));
   }
-  if (selected > 0 && bytes_down % selected != 0) {
+  if (attempts > 0 && bytes_down % attempts != 0) {
     fail(where + ": bytes_down=" + std::to_string(bytes_down) +
-         " not divisible by selected=" + std::to_string(selected));
+         " not divisible by attempts=" + std::to_string(attempts));
   }
-  if (contributors > 0 && bytes_up % contributors != 0) {
+  if (up_deliveries > 0 && bytes_up % up_deliveries != 0) {
     fail(where + ": bytes_up=" + std::to_string(bytes_up) +
-         " not divisible by contributors=" + std::to_string(contributors));
+         " not divisible by up_deliveries=" + std::to_string(up_deliveries));
   }
 }
 
@@ -112,7 +157,7 @@ void lint_jsonl(const std::string& path) {
       fail(path + ":" + std::to_string(lineno) + ": line lacks \"round\"");
     } else {
       ++rounds;
-      check_round_bytes(path, lineno, value);
+      check_round_line(path, lineno, value);
     }
   }
   if (lineno == 0) fail(path + ": empty file");
