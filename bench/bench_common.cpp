@@ -35,6 +35,7 @@ BenchOptions parse_options(const CliFlags& flags) {
       static_cast<std::size_t>(flags.get_int("retries", 2));
   options.recovery.deadline_ms = flags.get_double("deadline-ms", 0.0);
   options.recovery.quorum = flags.get_double("quorum", 1.0);
+  options.shards = static_cast<std::size_t>(flags.get_int("shards", 1));
   options.quick = flags.get_bool("quick", false);
   for (const auto& name : flags.unused()) {
     log_warn() << "ignoring unknown flag --" << name;
@@ -58,7 +59,16 @@ void apply_rounds(TrainerConfig& config, const Workload& workload,
   }
   config.devices_per_round =
       std::min(config.devices_per_round, workload.data.num_clients());
+  apply_common_flags(config, options);
+}
+
+void apply_common_flags(TrainerConfig& config, const BenchOptions& options) {
   config.transport = make_transport(parse_transport_kind(options.transport));
+  config.shards = options.shards ? options.shards : 1;
+  if (config.shards > 1) {
+    log_info() << "sharded aggregation: " << config.shards
+               << " aggregator shards per round";
+  }
   apply_faults(config, options);
 }
 

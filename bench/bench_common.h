@@ -15,6 +15,8 @@
 //   --retries N      extra exchange attempts per device (default 2)
 //   --deadline-ms D  delivery deadline in simulated ms (0 = off)
 //   --quorum Q       aggregate once Q of selected devices reported (0, 1]
+//   --shards N       aggregator shards per round (sim/sharded.h); any
+//                    value yields a bit-identical history (default 1)
 //   --quick          very small run for smoke-testing the harness
 // and prints the paper-style series table to stdout plus a CSV per figure.
 
@@ -44,6 +46,7 @@ struct BenchOptions {
   std::string transport = "inprocess";  // parse_transport_kind values
   FaultProfile faults;                  // all-zero = clean channel
   RecoveryConfig recovery;              // retry/deadline/quorum policy
+  std::size_t shards = 1;               // aggregator shards per round
   bool quick = false;
 };
 
@@ -58,13 +61,18 @@ BenchOptions parse_options(const CliFlags& flags);
 Workload load_workload(const std::string& name, const BenchOptions& options);
 
 // Applies the round override / quick shrink to a config built from the
-// workload defaults (includes apply_faults).
+// workload defaults (includes apply_common_flags).
 void apply_rounds(TrainerConfig& config, const Workload& workload,
                   const BenchOptions& options);
 
+// Installs every shared channel/server flag on the config in one place —
+// --transport, --shards, and the fault/recovery knobs below — so a new
+// common flag lands here once instead of in every driver. For drivers
+// that size rounds themselves instead of going through apply_rounds.
+void apply_common_flags(TrainerConfig& config, const BenchOptions& options);
+
 // Installs --faults/--retries/--deadline-ms/--quorum on the config and
-// logs the channel-fault banner. For drivers that size rounds themselves
-// instead of going through apply_rounds.
+// logs the channel-fault banner (part of apply_common_flags).
 void apply_faults(TrainerConfig& config, const BenchOptions& options);
 
 // Owns the JSONL trace sink + observer created from --trace-out, and the

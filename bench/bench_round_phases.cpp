@@ -66,6 +66,9 @@ int main(int argc, char** argv) {
   config.eval_every = 1;
   config.devices_per_round =
       std::min(config.devices_per_round, workload.data.num_clients());
+  // Transport is this benchmark's independent variable (baseline vs
+  // serialized reps below), so install only the remaining shared flags.
+  config.shards = options.shards ? options.shards : 1;
   apply_faults(config, options);
 
   // Warm-up (thread pool, page cache), then alternate baseline/observed

@@ -2,22 +2,22 @@
 // watch the global loss fall.
 //
 //   ./quickstart [--rounds 50] [--mu 1.0] [--stragglers 0.5]
-//                [--transport inprocess|serialized]
+//                [--transport inprocess|serialized] [--shards N]
 //                [--faults drop=0.1,corrupt=0.01,delay_ms=50]
 //                [--retries 2] [--deadline-ms 0] [--quorum 1.0]
 //                [--trace-out trace.jsonl] [--profile-out run.trace.json]
+//
+// The channel/server flags are the shared bench set (bench/bench_common.h):
+// quickstart only adds --mu/--rounds/--stragglers on top.
 
 #include <iostream>
-#include <memory>
 
+#include "bench_common.h"
 #include "comm/transport.h"
 #include "core/registry.h"
 #include "core/trainer.h"
-#include "obs/chrome_trace.h"
 #include "obs/health.h"
 #include "obs/observer.h"
-#include "obs/profiler.h"
-#include "obs/trace_sink.h"
 #include "support/cli.h"
 #include "support/csv.h"
 
@@ -41,6 +41,13 @@ int main(int argc, char** argv) {
   using namespace fed;
   CliFlags flags(argc, argv);
 
+  // Quickstart-specific flags, read before parse_options so the shared
+  // parser's unknown-flag warning stays quiet about them.
+  const double mu = flags.get_double("mu", 1.0);
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 50));
+  const double stragglers = flags.get_double("stragglers", 0.5);
+  const bench::BenchOptions options = bench::parse_options(flags);
+
   // 1. Build a federated dataset and its model. Workloads bundle the
   //    paper's hyper-parameters; you can also construct datasets and
   //    models directly (see the other examples).
@@ -51,64 +58,44 @@ int main(int argc, char** argv) {
 
   // 2. Configure FedProx: K=10 devices per round, E=20 local epochs,
   //    proximal coefficient mu, and a straggler fraction to simulate
-  //    systems heterogeneity.
-  TrainerConfig config = fedprox_config(flags.get_double("mu", 1.0));
-  config.rounds = static_cast<std::size_t>(flags.get_int("rounds", 50));
+  //    systems heterogeneity. apply_common_flags installs the shared
+  //    channel/server options: --transport (serialized round-trips every
+  //    payload through the binary wire format, bit-identically),
+  //    --shards (hierarchical aggregation, also bit-identical), and the
+  //    fault/recovery knobs.
+  TrainerConfig config = fedprox_config(mu);
+  config.rounds = rounds;
   config.devices_per_round = 10;
   config.systems.epochs = 20;
-  config.systems.straggler_fraction = flags.get_double("stragglers", 0.5);
+  config.systems.straggler_fraction = stragglers;
   config.learning_rate = workload.learning_rate;
   config.eval_every = 5;
-
-  // --transport serialized round-trips every broadcast/update through
-  // the binary wire format (what a networked deployment would send);
-  // results are bit-identical to the default zero-copy transport.
-  const std::string transport = flags.get_string("transport", "inprocess");
-  config.transport = make_transport(parse_transport_kind(transport));
+  bench::apply_common_flags(config, options);
   std::cout << "transport: " << config.transport->name() << "\n";
-
-  // --faults injects deterministic channel faults (drops, corruption,
-  // duplicates, latency) into the transport above; the recovery flags
-  // tune how the round driver rides them out. Same seed, same faults.
-  if (auto faults = flags.get_optional_string("faults")) {
-    config.faults = parse_fault_profile(*faults);
-    config.recovery.max_retries =
-        static_cast<std::size_t>(flags.get_int("retries", 2));
-    config.recovery.deadline_ms = flags.get_double("deadline-ms", 0.0);
-    config.recovery.quorum = flags.get_double("quorum", 1.0);
+  if (config.shards > 1) {
+    std::cout << "aggregator shards: " << config.shards << "\n";
+  }
+  if (config.faults.any()) {
     std::cout << "faults: " << to_string(config.faults) << " (retries "
               << config.recovery.max_retries << ", deadline "
               << config.recovery.deadline_ms << " ms, quorum "
               << config.recovery.quorum << ")\n";
   }
 
-  // 3. Train, printing each evaluated round. With --trace-out a JSONL
-  //    sink records per-phase wall times for every round; with
-  //    --profile-out the span profiler captures nested
-  //    run -> round -> phase -> exchange spans into a Chrome
-  //    trace-event file (open in chrome://tracing or ui.perfetto.dev).
-  //    A HealthMonitor watches every round for numeric trouble.
+  // 3. Train, printing each evaluated round. TraceCapture owns the
+  //    --trace-out JSONL sink (per-phase wall times for every round) and
+  //    the --profile-out span profiler session (nested run -> round ->
+  //    phase -> exchange spans, written as a Chrome trace-event file on
+  //    destruction). A HealthMonitor watches every round for numeric
+  //    trouble.
+  bench::TraceCapture capture(options);
   Trainer trainer(*workload.model, workload.data, config);
   ProgressPrinter printer;
   trainer.add_observer(printer);
 
   HealthMonitor health;
   trainer.add_observer(health);
-
-  std::unique_ptr<JsonlTraceSink> sink;
-  std::unique_ptr<TraceObserver> tracer;
-  if (auto path = flags.get_optional_string("trace-out")) {
-    sink = std::make_unique<JsonlTraceSink>(*path);
-    tracer = std::make_unique<TraceObserver>(*sink);
-    trainer.add_observer(*tracer);
-    std::cout << "streaming round traces to " << *path << "\n";
-  }
-
-  const auto profile_path = flags.get_optional_string("profile-out");
-  if (profile_path) {
-    Profiler::instance().set_thread_name("main");
-    Profiler::instance().enable();
-  }
+  if (capture.observer()) trainer.add_observer(*capture.observer());
 
   TrainHistory history;
   try {
@@ -116,13 +103,6 @@ int main(int argc, char** argv) {
   } catch (const HealthError& error) {
     std::cerr << error.what() << "\n";
     return 1;
-  }
-
-  if (profile_path) {
-    Profiler::instance().disable();
-    write_chrome_trace(*profile_path);
-    std::cout << "wrote span profile to " << *profile_path
-              << " (open in chrome://tracing or ui.perfetto.dev)\n";
   }
 
   std::cout << "\nfinal loss " << *history.final_metrics().train_loss

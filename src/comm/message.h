@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <span>
 
+#include "sim/aggregate.h"
 #include "sim/client.h"
 #include "sim/systems.h"
 #include "tensor/tensor.h"
@@ -59,6 +60,18 @@ struct OwnedBroadcast {
 struct ClientUpdate {
   std::size_t round = 0;
   ClientResult result;
+};
+
+// Aggregator shard -> root: one shard's exact partial sum of its owned
+// contributions (sim/aggregate.h). Unlike model payloads, partials always
+// cross the shard uplink through the FPS1 wire format (support/
+// serialize.h) — the exact accumulator state is what makes the root
+// merge independent of the shard topology, so the codec must round-trip
+// it losslessly every round.
+struct PartialSumUpdate {
+  std::size_t round = 0;
+  std::size_t shard = 0;
+  PartialAggregate partial{SamplingScheme::kUniformThenWeightedAverage, 0};
 };
 
 }  // namespace fed

@@ -10,6 +10,7 @@
 #include "obs/profiler.h"
 #include "sim/aggregate.h"
 #include "sim/server.h"
+#include "sim/sharded.h"
 #include "support/log.h"
 #include "support/stopwatch.h"
 
@@ -226,33 +227,56 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
     }
   }
 
-  // 5. Aggregate. FedAvg drops stragglers; FedProx/FedDane keep them.
-  //    Upload bytes are charged per delivery that reached the server in
-  //    the round window: accepted updates (twice when duplicated) and
-  //    corrupt arrivals, but not FedAvg-dropped stragglers, timeouts, or
-  //    quorum drops — those never report back within the window, so their
+  // 5. Aggregate, hierarchically: the selected devices are split into
+  //    contiguous selection-order slices, one per aggregator shard, each
+  //    shard folds its accepted updates into an exact partial sum, and
+  //    the root merges the FPS1-encoded partials (sim/sharded.h). The
+  //    partials are exact, so the shard count cannot change the model.
+  //    FedAvg drops stragglers; FedProx/FedDane keep them. Upload bytes
+  //    are charged per delivery that reached the server in the round
+  //    window: accepted updates (twice when duplicated) and corrupt
+  //    arrivals, but not FedAvg-dropped stragglers, timeouts, or quorum
+  //    drops — those never report back within the window, so their
   //    updates move no measured bytes.
   phase_timer.reset();
-  std::vector<Contribution> contributions;
+  const std::vector<ShardSlice> slices =
+      plan_shards(selected.size(), config_.shards);
+  std::vector<std::size_t> shard_of(selected.size());
+  std::vector<ShardStat> shard_stats(slices.size());
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    shard_stats[s].shard = s;
+    shard_stats[s].devices = slices[s].size();
+    for (std::size_t i = slices[s].begin; i < slices[s].end; ++i) {
+      shard_of[i] = s;
+    }
+  }
+  ShardedServer server(config_.sampling, w.size(), slices.size());
   std::uint64_t bytes_up = 0;
   std::size_t up_deliveries = 0;
   std::size_t straggler_total = 0;
   bool updated = false;
   {
-    Span span("aggregate", "phase", "round", static_cast<std::int64_t>(t + 1));
-    for (const auto& oc : outcomes) {
+    Span span("aggregate", "phase", "round", static_cast<std::int64_t>(t + 1),
+              "shards", static_cast<std::int64_t>(slices.size()));
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const DeviceOutcome& oc = outcomes[i];
       if (!oc.accepted) continue;
       const ClientResult& r = oc.record.result();
       if (r.straggler) ++straggler_total;
       if (config_.algorithm == Algorithm::kFedAvg && r.straggler) continue;
-      contributions.push_back(
-          {r.device, &r.update, static_cast<double>(r.num_samples)});
+      server.accumulate(shard_of[i], {r.device, &r.update,
+                                      static_cast<double>(r.num_samples)});
       bytes_up += oc.record.bytes_up;
+      shard_stats[shard_of[i]].bytes_up += oc.record.bytes_up;
       up_deliveries += oc.record.duplicate ? 2 : 1;
     }
-    updated = aggregate(config_.sampling, contributions, w);
+    updated = server.reduce(t + 1, w);
   }
   trace.aggregate_seconds = phase_timer.seconds();
+  for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+    shard_stats[s].contributors = server.contributors(s);
+    shard_stats[s].partial_bytes = server.partial_bytes(s);
+  }
   if (!updated) {
     // Degraded round: zero accepted updates survived to aggregation
     // (every device failed, timed out, missed quorum, or — under FedAvg —
@@ -274,12 +298,15 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   }
 
   trace.selected = selected.size();
-  trace.contributors = contributions.size();
+  trace.contributors = server.total_contributors();
   trace.stragglers = straggler_total;
   CommFaultStats& faults = trace.faults;
-  for (const auto& oc : outcomes) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const DeviceOutcome& oc = outcomes[i];
     trace.bytes_down += oc.bytes_down;
+    shard_stats[shard_of[i]].bytes_down += oc.bytes_down;
     bytes_up += oc.failed_bytes_up;  // corrupt arrivals, charged per attempt
+    shard_stats[shard_of[i]].bytes_up += oc.failed_bytes_up;
     faults.attempts += oc.attempts;
     faults.drops += oc.drops;
     faults.corruptions += oc.corruptions;
@@ -294,6 +321,7 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   // corrupt arrivals, matching the bytes_up sum delivery for delivery.
   faults.up_deliveries = up_deliveries + faults.corruptions;
   trace.bytes_up = bytes_up;
+  trace.shards = std::move(shard_stats);
   {
     std::vector<double> solve_times;
     solve_times.reserve(outcomes.size());
@@ -307,7 +335,7 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   RoundMetrics& m = out.metrics;
   m.round = t + 1;
   m.mu = mu;
-  m.contributors = contributions.size();
+  m.contributors = trace.contributors;
   m.stragglers = straggler_total;
   if (config_.measure_gamma) {
     double total = 0.0;

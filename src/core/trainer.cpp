@@ -102,6 +102,7 @@ Trainer::Trainer(const Model& model, const FederatedDataset& data,
       config_.recovery.deadline_ms < 0.0) {
     throw std::invalid_argument("Trainer: bad recovery backoff/deadline");
   }
+  if (config_.shards == 0) config_.shards = 1;
   if (!config_.solver) config_.solver = std::make_shared<SgdSolver>();
 }
 

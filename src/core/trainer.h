@@ -100,6 +100,13 @@ struct TrainerConfig {
   bool measure_dissimilarity = false;
 
   std::size_t threads = 0;  // 0 = hardware concurrency
+  // Aggregator shards per round (sim/sharded.h): the selected devices
+  // are split into `shards` contiguous slices, each aggregated into an
+  // exact partial sum and merged at the root. Any value produces a
+  // bit-identical TrainHistory (0 is treated as 1); the knob trades
+  // server-side parallelism/topology against per-round FPS1 uplink
+  // bytes, never results.
+  std::size_t shards = 1;
   // Local solver; nullptr means SGD (the paper's choice).
   std::shared_ptr<const LocalSolver> solver;
   // Federation transport; nullptr means InProcessTransport (zero-copy).

@@ -161,6 +161,8 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry)
       faults_(registry.counter("fed_comm_faults_total")),
       retries_(registry.counter("fed_comm_retries_total")),
       degraded_rounds_(registry.counter("fed_comm_rounds_degraded_total")),
+      shard_merges_(registry.counter("fed_shard_merges_total")),
+      shard_partial_bytes_(registry.counter("fed_shard_partial_bytes_total")),
       mu_(registry.gauge("fed_mu")),
       train_loss_(registry.gauge("fed_train_loss")),
       round_(registry.gauge("fed_round")),
@@ -191,6 +193,10 @@ void MetricsObserver::on_round_end(const RoundMetrics& metrics,
   bytes_up_.add(trace.bytes_up);
   bytes_down_.add(trace.bytes_down);
   retries_.add(trace.faults.retries);
+  shard_merges_.add(trace.shards.size());
+  for (const ShardStat& s : trace.shards) {
+    shard_partial_bytes_.add(s.partial_bytes);
+  }
   if (trace.degraded) degraded_rounds_.add();
   mu_.set(metrics.mu);
   round_.set(static_cast<double>(metrics.round));

@@ -113,7 +113,9 @@ class MetricsRegistry {
 //              fed_comm_bytes_up_total, fed_comm_bytes_down_total,
 //              fed_comm_faults_total (+ fed_comm_faults_<kind>_total per
 //              FaultEvent kind seen), fed_comm_retries_total,
-//              fed_comm_rounds_degraded_total
+//              fed_comm_rounds_degraded_total,
+//              fed_shard_merges_total (root merges of shard partials),
+//              fed_shard_partial_bytes_total (FPS1 shard -> root bytes)
 //   gauges     fed_mu, fed_train_loss (last evaluated), fed_round
 //   histograms fed_round_seconds, fed_client_solve_seconds
 class MetricsObserver final : public TrainingObserver {
@@ -135,6 +137,8 @@ class MetricsObserver final : public TrainingObserver {
   Counter& faults_;
   Counter& retries_;
   Counter& degraded_rounds_;
+  Counter& shard_merges_;
+  Counter& shard_partial_bytes_;
   Gauge& mu_;
   Gauge& train_loss_;
   Gauge& round_;

@@ -47,6 +47,18 @@ JsonValue trace_to_json(const RoundTrace& trace) {
   faults["up_deliveries"] = trace.faults.up_deliveries;
   faults["delay_ms"] = trace.faults.delay_ms;
 
+  JsonArray shards;
+  for (const ShardStat& s : trace.shards) {
+    JsonObject shard;
+    shard["shard"] = s.shard;
+    shard["devices"] = s.devices;
+    shard["contributors"] = s.contributors;
+    shard["bytes_down"] = s.bytes_down;
+    shard["bytes_up"] = s.bytes_up;
+    shard["partial_bytes"] = s.partial_bytes;
+    shards.push_back(JsonValue(std::move(shard)));
+  }
+
   JsonObject out;
   out["round"] = trace.round;
   out["evaluated"] = trace.evaluated;
@@ -55,6 +67,7 @@ JsonValue trace_to_json(const RoundTrace& trace) {
   out["stragglers"] = trace.stragglers;
   out["phases"] = std::move(phases);
   out["faults"] = std::move(faults);
+  out["shards"] = std::move(shards);
   out["degraded"] = trace.degraded;
   out["round_s"] = trace.round_seconds;
   out["bytes_down"] = trace.bytes_down;

@@ -47,6 +47,19 @@ struct CommFaultStats {
   double delay_ms = 0.0;          // injected latency + backoff, simulated
 };
 
+// One aggregator shard's share of a round (sim/sharded.h). Shard slices
+// partition the selected devices, so across a round's shards the device,
+// contributor, and byte columns sum to the round-level totals — an
+// invariant tools/trace_lint enforces.
+struct ShardStat {
+  std::size_t shard = 0;          // shard index, dense from 0
+  std::size_t devices = 0;        // selected devices owned by this shard
+  std::size_t contributors = 0;   // accepted updates accumulated here
+  std::uint64_t bytes_down = 0;   // broadcast bytes over owned devices
+  std::uint64_t bytes_up = 0;     // update bytes over owned contributors
+  std::uint64_t partial_bytes = 0;  // FPS1 partial-sum bytes shipped to root
+};
+
 struct RoundTrace {
   std::size_t round = 0;
   bool evaluated = false;        // eval_seconds covers a real evaluation
@@ -54,6 +67,7 @@ struct RoundTrace {
   std::size_t contributors = 0;  // devices aggregated
   std::size_t stragglers = 0;    // stragglers among delivered updates
   CommFaultStats faults;         // channel fault/recovery accounting
+  std::vector<ShardStat> shards; // per-shard slice of this round's work
   bool degraded = false;         // aggregation saw zero updates; w was kept
 
   // Phase wall times, in seconds, measured on the round thread.

@@ -1,45 +1,67 @@
 #include "sim/aggregate.h"
 
 #include <stdexcept>
-
-#include "tensor/ops.h"
+#include <utility>
 
 namespace fed {
 
-bool aggregate(SamplingScheme scheme,
-               std::span<const Contribution> contributions,
-               std::span<double> w) {
-  if (contributions.empty()) return false;
+PartialAggregate::PartialAggregate(SamplingScheme scheme, std::size_t dim)
+    : scheme_(scheme), dim_(dim), sum_(dim) {}
 
-  std::vector<double> weights(contributions.size());
-  switch (scheme) {
-    case SamplingScheme::kUniformThenWeightedAverage: {
-      double total = 0.0;
-      for (const auto& c : contributions) total += c.num_samples;
-      if (total <= 0.0) {
-        throw std::invalid_argument("aggregate: non-positive sample total");
-      }
-      for (std::size_t i = 0; i < contributions.size(); ++i) {
-        weights[i] = contributions[i].num_samples / total;
-      }
-      break;
-    }
-    case SamplingScheme::kWeightedThenSimpleAverage: {
-      const double inv = 1.0 / static_cast<double>(contributions.size());
-      for (auto& value : weights) value = inv;
-      break;
-    }
+void PartialAggregate::accumulate(const Contribution& contribution) {
+  const Vector& u = *contribution.update;
+  if (u.size() != dim_) {
+    throw std::invalid_argument(
+        "PartialAggregate::accumulate: update dimension mismatch");
   }
+  // kUniformThenWeightedAverage weighs each device by n_k; the simple
+  // scheme gives every contributor coefficient 1 (divided by the
+  // contributor count at finalize). coeff * u[i] is one correctly
+  // rounded multiply whose result does not depend on which shard
+  // performs it — partition-independence starts here.
+  const double coeff = scheme_ == SamplingScheme::kUniformThenWeightedAverage
+                           ? contribution.num_samples
+                           : 1.0;
+  weight_.add(coeff);
+  for (std::size_t i = 0; i < dim_; ++i) sum_[i].add(coeff * u[i]);
+  ++contributors_;
+}
 
-  zero(w);
-  for (std::size_t i = 0; i < contributions.size(); ++i) {
-    const Vector& update = *contributions[i].update;
-    if (update.size() != w.size()) {
-      throw std::invalid_argument("aggregate: update dimension mismatch");
-    }
-    axpy(weights[i], update, w);
+void PartialAggregate::merge(PartialAggregate&& other) {
+  if (other.scheme_ != scheme_ || other.dim_ != dim_) {
+    throw std::invalid_argument(
+        "PartialAggregate::merge: incompatible partial (scheme or dim)");
   }
+  weight_.merge(other.weight_);
+  for (std::size_t i = 0; i < dim_; ++i) sum_[i].merge(other.sum_[i]);
+  contributors_ += other.contributors_;
+}
+
+bool PartialAggregate::finalize(std::span<double> w) const {
+  if (w.size() != dim_) {
+    throw std::invalid_argument(
+        "PartialAggregate::finalize: model dimension mismatch");
+  }
+  if (contributors_ == 0) return false;
+  const double total = weight_.value();
+  if (scheme_ == SamplingScheme::kUniformThenWeightedAverage && total <= 0.0) {
+    throw std::invalid_argument(
+        "PartialAggregate::finalize: non-positive sample total under the "
+        "weighted-average scheme");
+  }
+  for (std::size_t i = 0; i < dim_; ++i) w[i] = sum_[i].value() / total;
   return true;
+}
+
+PartialAggregate PartialAggregate::restore(SamplingScheme scheme,
+                                           std::size_t contributors,
+                                           ExactSum weight,
+                                           std::vector<ExactSum> coordinates) {
+  PartialAggregate p(scheme, coordinates.size());
+  p.contributors_ = contributors;
+  p.weight_ = std::move(weight);
+  p.sum_ = std::move(coordinates);
+  return p;
 }
 
 }  // namespace fed

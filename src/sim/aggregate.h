@@ -1,11 +1,36 @@
-// Server-side aggregation of local updates.
+// Server-side aggregation of local updates, as mergeable partial sums.
+//
+// FedProx's server step (Algorithm 2) is a weighted average — an
+// associative reduction — so it does not have to happen in one place.
+// PartialAggregate is the unit of that reduction: a sub-aggregator
+// accumulate()s the contributions of the devices it owns, partials
+// merge() into bigger partials, and the root finalize()s the fully
+// merged sum into the next global model. Every coordinate (and the
+// weight total) accumulates in an ExactSum (tensor/exact_sum.h), so
+// merge is *exactly* associative and commutative: any shard topology,
+// merge order, or thread count produces bit-identical results —
+// hierarchical sharded aggregation cannot change the math.
+//
+//   PartialAggregate shard(scheme, dim);   // one per aggregator shard
+//   for (const Contribution& c : mine) shard.accumulate(c);
+//   root.merge(std::move(shard));          // sub-aggregator -> root
+//   bool updated = root.finalize(w);       // false: nobody contributed
+//
+// Weighting follows the sampling scheme (see sim/sampling.h):
+//   kUniformThenWeightedAverage  -> weights proportional to n_k
+//   kWeightedThenSimpleAverage   -> equal weights 1/|contributions|
+// finalize returns false (leaving w untouched) when no device
+// contributed — the paper's FedAvg keeps the previous model when every
+// selected device straggles and is dropped.
 
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
 #include "sim/sampling.h"
+#include "tensor/exact_sum.h"
 #include "tensor/tensor.h"
 
 namespace fed {
@@ -16,15 +41,42 @@ struct Contribution {
   double num_samples = 0.0;        // n_k, used by the weighted scheme
 };
 
-// Combines contributions into the next global model. Weighting follows
-// the sampling scheme (see sim/sampling.h):
-//   kUniformThenWeightedAverage  -> weights proportional to n_k
-//   kWeightedThenSimpleAverage   -> equal weights 1/|contributions|
-// Returns false (leaving w untouched) when no device contributed — the
-// paper's FedAvg keeps the previous model when every selected device
-// straggles and is dropped.
-bool aggregate(SamplingScheme scheme,
-               std::span<const Contribution> contributions,
-               std::span<double> w);
+class PartialAggregate {
+ public:
+  PartialAggregate(SamplingScheme scheme, std::size_t dim);
+
+  // Folds one device's contribution in. Throws std::invalid_argument on
+  // a dimension mismatch.
+  void accumulate(const Contribution& contribution);
+
+  // Absorbs another partial covering a disjoint device set. Exactly
+  // associative and commutative. Throws std::invalid_argument when the
+  // scheme or dimension disagrees.
+  void merge(PartialAggregate&& other);
+
+  // Writes the weighted average into `w` and returns true, or returns
+  // false leaving `w` untouched when no contribution was accumulated.
+  // Throws std::invalid_argument on a dimension mismatch, or when the
+  // weighted scheme's sample total is not positive.
+  bool finalize(std::span<double> w) const;
+
+  SamplingScheme scheme() const { return scheme_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t contributors() const { return contributors_; }
+
+  // Raw state, for the FPS1 wire codec (support/serialize.h).
+  const ExactSum& weight_sum() const { return weight_; }
+  std::span<const ExactSum> coordinate_sums() const { return sum_; }
+  static PartialAggregate restore(SamplingScheme scheme,
+                                  std::size_t contributors, ExactSum weight,
+                                  std::vector<ExactSum> coordinates);
+
+ private:
+  SamplingScheme scheme_;
+  std::size_t dim_;
+  std::size_t contributors_ = 0;
+  ExactSum weight_;            // sum of the per-contribution coefficients
+  std::vector<ExactSum> sum_;  // per-coordinate sum of coeff * update
+};
 
 }  // namespace fed

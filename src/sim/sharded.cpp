@@ -1,0 +1,65 @@
+#include "sim/sharded.h"
+
+#include <utility>
+
+#include "comm/message.h"
+#include "obs/profiler.h"
+#include "support/serialize.h"
+
+namespace fed {
+
+std::vector<ShardSlice> plan_shards(std::size_t devices, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  std::vector<ShardSlice> slices(shards);
+  const std::size_t base = devices / shards;
+  const std::size_t extra = devices % shards;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t size = base + (s < extra ? 1 : 0);
+    slices[s] = {begin, begin + size};
+    begin += size;
+  }
+  return slices;
+}
+
+ShardedServer::ShardedServer(SamplingScheme scheme, std::size_t dim,
+                             std::size_t shards)
+    : contributors_(shards == 0 ? 1 : shards, 0),
+      partial_bytes_(shards == 0 ? 1 : shards, 0) {
+  partials_.reserve(contributors_.size());
+  for (std::size_t s = 0; s < contributors_.size(); ++s) {
+    partials_.emplace_back(scheme, dim);
+  }
+}
+
+void ShardedServer::accumulate(std::size_t shard,
+                               const Contribution& contribution) {
+  partials_[shard].accumulate(contribution);
+  ++contributors_[shard];
+}
+
+std::size_t ShardedServer::total_contributors() const {
+  std::size_t total = 0;
+  for (const std::size_t c : contributors_) total += c;
+  return total;
+}
+
+bool ShardedServer::reduce(std::size_t round, std::span<double> w) {
+  PartialAggregate root(partials_.front().scheme(), partials_.front().dim());
+  for (std::size_t s = 0; s < partials_.size(); ++s) {
+    Span span("shard_reduce", "phase", "round",
+              static_cast<std::int64_t>(round), "shard",
+              static_cast<std::int64_t>(s), "contributors",
+              static_cast<std::int64_t>(partials_[s].contributors()));
+    // The uplink always round-trips the wire format, even with one
+    // shard: partial_bytes_ is then real traffic, and a codec regression
+    // cannot hide behind an in-process shortcut.
+    const WireBuffer wire = encode_partial_sum(
+        {.round = round, .shard = s, .partial = std::move(partials_[s])});
+    partial_bytes_[s] = wire.size();
+    root.merge(std::move(decode_partial_sum(wire).partial));
+  }
+  return root.finalize(w);
+}
+
+}  // namespace fed

@@ -1,0 +1,82 @@
+// Hierarchical sharded aggregation: N aggregator shards, one root.
+//
+// At 10^5–10^6 registered devices a single aggregator is the server's
+// bottleneck (cf. Bonawitz et al., "Towards Federated Learning at
+// Scale": an actor-per-aggregator tree). This layer splits each round's
+// selected devices across `shards` sub-aggregators; every shard
+// accumulate()s the updates it owns into a PartialAggregate
+// (sim/aggregate.h), ships its exact partial sum to the root through the
+// FPS1 wire codec (support/serialize.h), and the root merges and
+// finalizes. Because the partials are exact, the shard topology is
+// unobservable in the result: any shard count, merge order, or thread
+// count produces a bit-identical global model — the property the
+// ShardedDeterminism tests pin down.
+//
+// Shard slices are contiguous in selection order (plan_shards), so fan
+// out order, fault-RNG streams, and the root-level quorum cut are all
+// independent of the shard count by construction.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/aggregate.h"
+
+namespace fed {
+
+// Half-open slice [begin, end) of the round's selection-ordered devices
+// owned by one shard.
+struct ShardSlice {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+};
+
+// Partitions `devices` selected devices into `shards` contiguous slices
+// whose sizes differ by at most one (earlier shards take the remainder).
+// A shard count of 0 is treated as 1; slices beyond the device count are
+// empty. The mapping depends only on (devices, shards), never on the
+// round's outcomes, so it is deterministic.
+std::vector<ShardSlice> plan_shards(std::size_t devices, std::size_t shards);
+
+// The aggregation tree for one round: `shards` leaf aggregators and a
+// root merge. accumulate() may be called for any shard in any order (the
+// round driver calls it on the round thread, in selection order);
+// reduce() then encodes every shard's partial, merges at the root, and
+// finalizes into `w`.
+class ShardedServer {
+ public:
+  ShardedServer(SamplingScheme scheme, std::size_t dim, std::size_t shards);
+
+  // Folds one contribution into shard `shard`'s partial sum.
+  void accumulate(std::size_t shard, const Contribution& contribution);
+
+  // Ships each shard's partial to the root (always through the FPS1
+  // codec, so the uplink is exercised — and byte-accounted — every
+  // round), merges exactly, and finalizes the weighted average into `w`.
+  // Returns false, leaving `w` untouched, when no shard accumulated any
+  // contribution. Call once, after all accumulate() calls.
+  bool reduce(std::size_t round, std::span<double> w);
+
+  std::size_t shard_count() const { return partials_.size(); }
+  std::size_t contributors(std::size_t shard) const {
+    return contributors_[shard];
+  }
+  std::size_t total_contributors() const;
+
+  // FPS1 bytes shard -> root; populated by reduce(), zero before.
+  std::uint64_t partial_bytes(std::size_t shard) const {
+    return partial_bytes_[shard];
+  }
+
+ private:
+  std::vector<PartialAggregate> partials_;  // consumed by reduce()
+  std::vector<std::size_t> contributors_;   // survives reduce()
+  std::vector<std::uint64_t> partial_bytes_;
+};
+
+}  // namespace fed

@@ -1,5 +1,6 @@
 #include "support/serialize.h"
 
+#include <array>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -102,6 +103,7 @@ namespace {
 
 constexpr char kBroadcastMagic[4] = {'F', 'P', 'B', '1'};
 constexpr char kUpdateMagic[4] = {'F', 'P', 'U', '1'};
+constexpr char kPartialMagic[4] = {'F', 'P', 'S', '1'};
 
 // Append-only little-endian writer over a WireBuffer.
 class ByteWriter {
@@ -265,6 +267,76 @@ WireBuffer encode_update(const ClientUpdate& message) {
   w.f64(message.result.solve_seconds);
   w.doubles(message.result.update);
   return out;
+}
+
+namespace {
+
+void write_exact(ByteWriter& w, const ExactSum& sum) {
+  w.flag(sum.has_nonfinite());
+  w.f64(sum.nonfinite());
+  for (const std::uint64_t limb : sum.limbs()) w.u64(limb);
+}
+
+ExactSum read_exact(ByteReader& r) {
+  const bool has_nonfinite = r.flag();
+  const double nonfinite = r.f64();
+  std::array<std::uint64_t, ExactSum::kLimbs> limbs;
+  for (auto& limb : limbs) limb = r.u64();
+  return ExactSum::restore(limbs, has_nonfinite, nonfinite);
+}
+
+}  // namespace
+
+std::size_t partial_sum_wire_size(std::size_t dim) {
+  return kPartialEnvelopeBytes + dim * kExactSumWireBytes;
+}
+
+std::size_t partial_sum_wire_size(const PartialSumUpdate& message) {
+  return partial_sum_wire_size(message.partial.dim());
+}
+
+WireBuffer encode_partial_sum(const PartialSumUpdate& message) {
+  WireBuffer out;
+  out.reserve(partial_sum_wire_size(message));
+  ByteWriter w(out);
+  w.magic(kPartialMagic);
+  w.u64(message.round);
+  w.u64(message.shard);
+  // Scheme byte: 0 = weighted average, 1 = simple average.
+  w.flag(message.partial.scheme() ==
+         SamplingScheme::kWeightedThenSimpleAverage);
+  w.u64(message.partial.contributors());
+  write_exact(w, message.partial.weight_sum());
+  w.u64(message.partial.dim());
+  for (const ExactSum& sum : message.partial.coordinate_sums()) {
+    write_exact(w, sum);
+  }
+  return out;
+}
+
+PartialSumUpdate decode_partial_sum(std::span<const std::uint8_t> buffer) {
+  ByteReader r(buffer, "decode_partial_sum");
+  r.magic(kPartialMagic);
+  PartialSumUpdate m;
+  m.round = r.u64();
+  m.shard = r.u64();
+  const bool simple = r.flag();  // scheme byte: 0 weighted, 1 simple
+  const SamplingScheme scheme = simple
+                                    ? SamplingScheme::kWeightedThenSimpleAverage
+                                    : SamplingScheme::kUniformThenWeightedAverage;
+  const std::uint64_t contributors = r.u64();
+  ExactSum weight = read_exact(r);
+  const std::uint64_t dim = r.u64();
+  if ((buffer.size() - kPartialEnvelopeBytes) / kExactSumWireBytes < dim) {
+    throw std::runtime_error("decode_partial_sum: truncated payload");
+  }
+  std::vector<ExactSum> coordinates;
+  coordinates.reserve(dim);
+  for (std::uint64_t i = 0; i < dim; ++i) coordinates.push_back(read_exact(r));
+  r.finish();
+  m.partial = PartialAggregate::restore(scheme, contributors, std::move(weight),
+                                        std::move(coordinates));
+  return m;
 }
 
 ClientUpdate decode_update(std::span<const std::uint8_t> buffer) {

@@ -18,8 +18,15 @@
 //                   | u8 straggler | u64 iterations | f64 gamma
 //                   | u8 gamma_measured | f64 solve_seconds
 //                   | u64 dim | dim * f64
+//   PartialSumUpdate  magic "FPS1" | u64 round | u64 shard | u8 scheme
+//                     | u64 contributors | exact(weight)
+//                     | u64 dim | dim * exact(coordinate)
+//   where exact(x) is one ExactSum register, verbatim:
+//     u8 has_nonfinite | f64 nonfinite | ExactSum::kLimbs * u64 limbs
+//   so a shard's partial sum reaches the root bit-exactly — rounding
+//   happens once, at the root's finalize, never on the wire.
 // Decoders reject bad magic, truncation, trailing bytes, and corrupt
-// boolean flags with std::runtime_error.
+// boolean/scheme flags with std::runtime_error.
 
 #pragma once
 
@@ -67,6 +74,17 @@ inline constexpr std::size_t kUpdateEnvelopeBytes =
     8 + 1 + 8 +              // gamma, gamma_measured, solve_seconds
     8;                       // dim
 
+// One ExactSum register on the wire, and the FPS1 envelope around the
+// per-coordinate registers.
+inline constexpr std::size_t kExactSumWireBytes =
+    1 + 8 +                  // has_nonfinite, nonfinite
+    ExactSum::kLimbs * 8;    // the fixed-point register
+inline constexpr std::size_t kPartialEnvelopeBytes =
+    4 + 8 + 8 +              // magic, round, shard
+    1 + 8 +                  // scheme, contributors
+    kExactSumWireBytes +     // weight total
+    8;                       // dim
+
 // Exact wire sizes, computable without serializing (the zero-copy
 // transport's byte accounting).
 std::size_t broadcast_wire_size(std::size_t param_dim,
@@ -75,9 +93,14 @@ std::size_t broadcast_wire_size(const ModelBroadcast& message);
 std::size_t update_wire_size(std::size_t dim);
 std::size_t update_wire_size(const ClientUpdate& message);
 
+std::size_t partial_sum_wire_size(std::size_t dim);
+std::size_t partial_sum_wire_size(const PartialSumUpdate& message);
+
 WireBuffer encode_broadcast(const ModelBroadcast& message);
 OwnedBroadcast decode_broadcast(std::span<const std::uint8_t> buffer);
 WireBuffer encode_update(const ClientUpdate& message);
 ClientUpdate decode_update(std::span<const std::uint8_t> buffer);
+WireBuffer encode_partial_sum(const PartialSumUpdate& message);
+PartialSumUpdate decode_partial_sum(std::span<const std::uint8_t> buffer);
 
 }  // namespace fed

@@ -1,0 +1,155 @@
+#include "tensor/exact_sum.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace fed {
+
+void ExactSum::apply(std::uint64_t mag, std::size_t offset, bool negative) {
+  const std::size_t k = offset / 64;
+  const unsigned s = offset % 64;
+  const std::uint64_t words[2] = {mag << s, s ? mag >> (64 - s) : 0};
+  if (!negative) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; k + j < kLimbs && (j < 2 || carry); ++j) {
+      const std::uint64_t w = j < 2 ? words[j] : 0;
+      std::uint64_t sum = limbs_[k + j] + w;
+      const std::uint64_t c1 = sum < w ? 1 : 0;
+      sum += carry;
+      const std::uint64_t c2 = sum < carry ? 1 : 0;
+      limbs_[k + j] = sum;
+      carry = c1 | c2;
+    }
+  } else {
+    std::uint64_t borrow = 0;
+    for (std::size_t j = 0; k + j < kLimbs && (j < 2 || borrow); ++j) {
+      const std::uint64_t w = j < 2 ? words[j] : 0;
+      const std::uint64_t cur = limbs_[k + j];
+      const std::uint64_t d1 = cur - w;
+      const std::uint64_t b1 = cur < w ? 1 : 0;
+      const std::uint64_t d2 = d1 - borrow;
+      const std::uint64_t b2 = d1 < borrow ? 1 : 0;
+      limbs_[k + j] = d2;
+      borrow = b1 | b2;
+    }
+  }
+}
+
+void ExactSum::add(double v) {
+  if (v == 0.0) return;
+  if (!std::isfinite(v)) {
+    nonfinite_ = has_nonfinite_ ? nonfinite_ + v : v;
+    has_nonfinite_ = true;
+    return;
+  }
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // |m| in [0.5, 1), v = m * 2^exp
+  const auto mant = static_cast<std::int64_t>(std::ldexp(m, 53));
+  const bool negative = mant < 0;
+  auto mag = static_cast<std::uint64_t>(negative ? -mant : mant);
+  int offset = exp - 53 + kBias;  // bit position of mag's LSB
+  if (offset < 0) {
+    // Subnormal: the low -offset bits of mag are zero, so this is exact.
+    mag >>= -offset;
+    offset = 0;
+  }
+  apply(mag, static_cast<std::size_t>(offset), negative);
+}
+
+void ExactSum::merge(const ExactSum& other) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    std::uint64_t sum = limbs_[i] + other.limbs_[i];
+    const std::uint64_t c1 = sum < other.limbs_[i] ? 1 : 0;
+    sum += carry;
+    const std::uint64_t c2 = sum < carry ? 1 : 0;
+    limbs_[i] = sum;
+    carry = c1 | c2;
+  }
+  if (other.has_nonfinite_) {
+    nonfinite_ =
+        has_nonfinite_ ? nonfinite_ + other.nonfinite_ : other.nonfinite_;
+    has_nonfinite_ = true;
+  }
+}
+
+bool ExactSum::is_zero() const {
+  if (has_nonfinite_) return false;
+  for (const std::uint64_t l : limbs_) {
+    if (l != 0) return false;
+  }
+  return true;
+}
+
+double ExactSum::value() const {
+  if (has_nonfinite_) return nonfinite_;
+
+  std::array<std::uint64_t, kLimbs> mag = limbs_;
+  const bool negative = (limbs_[kLimbs - 1] >> 63) != 0;
+  if (negative) {
+    std::uint64_t carry = 1;
+    for (auto& l : mag) {
+      l = ~l + carry;
+      carry = (l < carry) ? 1 : 0;
+    }
+  }
+
+  int top = -1;  // highest set bit of |sum|
+  for (int i = static_cast<int>(kLimbs) - 1; i >= 0; --i) {
+    if (mag[static_cast<std::size_t>(i)] != 0) {
+      top = i * 64 + 63 - std::countl_zero(mag[static_cast<std::size_t>(i)]);
+      break;
+    }
+  }
+  if (top < 0) return 0.0;
+
+  // |sum| = M * 2^-kBias for the big integer M with top bit `top`.
+  if (top <= 52) {
+    // M < 2^53: exactly representable (possibly subnormal).
+    const double r = std::ldexp(static_cast<double>(mag[0]), -kBias);
+    return negative ? -r : r;
+  }
+
+  // Extract the top 53 bits as the mantissa, round half to even on the
+  // guard/sticky bits below, and scale back.
+  const std::size_t shift = static_cast<std::size_t>(top) - 52;
+  const std::size_t k = shift / 64;
+  const unsigned s = shift % 64;
+  std::uint64_t mant = mag[k] >> s;
+  if (s != 0 && k + 1 < kLimbs) mant |= mag[k + 1] << (64 - s);
+  mant &= (std::uint64_t{1} << 53) - 1;
+
+  const std::size_t gb = shift - 1;  // guard bit position
+  const bool guard = (mag[gb / 64] >> (gb % 64)) & 1;
+  bool sticky = false;
+  for (std::size_t i = 0; i < gb / 64 && !sticky; ++i) sticky = mag[i] != 0;
+  if (!sticky && gb % 64 != 0) {
+    sticky = (mag[gb / 64] & ((std::uint64_t{1} << (gb % 64)) - 1)) != 0;
+  }
+
+  int e = static_cast<int>(shift) - kBias;
+  if (guard && (sticky || (mant & 1))) {
+    ++mant;
+    if (mant == (std::uint64_t{1} << 53)) {
+      mant >>= 1;
+      ++e;
+    }
+  }
+  const double r = std::ldexp(static_cast<double>(mant), e);
+  return negative ? -r : r;
+}
+
+ExactSum ExactSum::restore(std::span<const std::uint64_t> limbs,
+                           bool has_nonfinite, double nonfinite) {
+  if (limbs.size() != kLimbs) {
+    throw std::invalid_argument("ExactSum::restore: wrong limb count");
+  }
+  ExactSum s;
+  for (std::size_t i = 0; i < kLimbs; ++i) s.limbs_[i] = limbs[i];
+  s.has_nonfinite_ = has_nonfinite;
+  s.nonfinite_ = has_nonfinite ? nonfinite : 0.0;
+  return s;
+}
+
+}  // namespace fed

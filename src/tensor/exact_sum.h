@@ -1,0 +1,75 @@
+// Exactly-associative accumulation of doubles.
+//
+// Floating-point addition is not associative, so a sum distributed over
+// aggregator shards would normally depend on how the addends were
+// partitioned — the one thing a hierarchical reduction must not do.
+// ExactSum removes the problem at the root: every finite double is a
+// (sign, 53-bit integer, power-of-two) triple, so its full bit pattern
+// lands exactly in a wide two's-complement fixed-point register
+// (a Kulisch-style accumulator) covering the entire double range,
+// 2^-1074 through 2^1023. Accumulation is then integer addition —
+// exact, associative, and commutative — and the register is rounded to
+// the nearest double (round-half-even) exactly once, at value().
+//
+// Consequences the aggregation layer builds on (sim/aggregate.h):
+//   - add()/merge() in any order and any grouping produce bit-identical
+//     registers, hence bit-identical value()s;
+//   - merge() of per-shard partial sums equals the single-accumulator
+//     sum exactly, so sharding cannot change the aggregate;
+//   - value() is the correctly-rounded double of the exact real sum.
+//
+// The register is 34 x 64-bit limbs (2176 bits): 2098 bits span the
+// double range and the rest is headroom + sign, enough for ~2^77 worst
+// case addends — overflow is not a practical concern. Non-finite
+// addends (inf/NaN) cannot live in fixed point; they accumulate in an
+// IEEE side-channel that, when engaged, dominates value() the way
+// ordinary IEEE addition would.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fed {
+
+class ExactSum {
+ public:
+  static constexpr std::size_t kLimbs = 34;
+  // Bit 0 of limb 0 weighs 2^-kBias (the smallest subnormal double).
+  static constexpr int kBias = 1074;
+
+  // Adds one double, exactly. ±0 is a no-op; non-finite values divert
+  // to the IEEE side-channel.
+  void add(double v);
+
+  // Adds another accumulator's exact state (the shard-merge operation).
+  void merge(const ExactSum& other);
+
+  // The nearest double to the exact accumulated sum (ties to even;
+  // overflow returns ±inf). If any non-finite value was added, returns
+  // the IEEE combination of those values instead, matching what plain
+  // summation would have propagated.
+  double value() const;
+
+  bool is_zero() const;
+
+  // Raw state, for the wire codec (support/serialize.h).
+  std::span<const std::uint64_t, kLimbs> limbs() const { return limbs_; }
+  bool has_nonfinite() const { return has_nonfinite_; }
+  double nonfinite() const { return nonfinite_; }
+  static ExactSum restore(std::span<const std::uint64_t> limbs,
+                          bool has_nonfinite, double nonfinite);
+
+ private:
+  // Adds or subtracts `mag * 2^(offset - kBias)` into the register.
+  void apply(std::uint64_t mag, std::size_t offset, bool negative);
+
+  // Two's-complement little-endian limbs: limbs_[0] is least significant.
+  std::array<std::uint64_t, kLimbs> limbs_{};
+  double nonfinite_ = 0.0;  // meaningful iff has_nonfinite_
+  bool has_nonfinite_ = false;
+};
+
+}  // namespace fed

@@ -2,15 +2,29 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 namespace fed {
 namespace {
+
+// Single-shot aggregation through the partial-sum API: accumulate every
+// contribution into one partial and finalize.
+bool aggregate_all(SamplingScheme scheme,
+                   std::span<const Contribution> contributions,
+                   std::span<double> w) {
+  PartialAggregate all(scheme, w.size());
+  for (const Contribution& c : contributions) all.accumulate(c);
+  return all.finalize(w);
+}
 
 TEST(Aggregate, WeightedAverageUsesSampleCounts) {
   Vector a{1.0, 0.0}, b{0.0, 1.0};
   std::vector<Contribution> contributions{{0, &a, 30.0}, {1, &b, 10.0}};
   Vector w(2, 99.0);
-  ASSERT_TRUE(aggregate(SamplingScheme::kUniformThenWeightedAverage,
-                        contributions, w));
+  ASSERT_TRUE(aggregate_all(SamplingScheme::kUniformThenWeightedAverage,
+                            contributions, w));
   EXPECT_NEAR(w[0], 0.75, 1e-12);
   EXPECT_NEAR(w[1], 0.25, 1e-12);
 }
@@ -19,8 +33,8 @@ TEST(Aggregate, SimpleAverageIgnoresSampleCounts) {
   Vector a{1.0, 0.0}, b{0.0, 1.0};
   std::vector<Contribution> contributions{{0, &a, 1000.0}, {1, &b, 1.0}};
   Vector w(2);
-  ASSERT_TRUE(aggregate(SamplingScheme::kWeightedThenSimpleAverage,
-                        contributions, w));
+  ASSERT_TRUE(aggregate_all(SamplingScheme::kWeightedThenSimpleAverage,
+                            contributions, w));
   EXPECT_NEAR(w[0], 0.5, 1e-12);
   EXPECT_NEAR(w[1], 0.5, 1e-12);
 }
@@ -28,7 +42,8 @@ TEST(Aggregate, SimpleAverageIgnoresSampleCounts) {
 TEST(Aggregate, EmptyContributionsLeaveModelUntouched) {
   Vector w{3.0, 4.0};
   std::vector<Contribution> none;
-  EXPECT_FALSE(aggregate(SamplingScheme::kUniformThenWeightedAverage, none, w));
+  EXPECT_FALSE(
+      aggregate_all(SamplingScheme::kUniformThenWeightedAverage, none, w));
   EXPECT_DOUBLE_EQ(w[0], 3.0);
   EXPECT_DOUBLE_EQ(w[1], 4.0);
 }
@@ -40,37 +55,120 @@ TEST(Aggregate, IdenticalUpdatesAreFixedPoint) {
   for (auto scheme : {SamplingScheme::kUniformThenWeightedAverage,
                       SamplingScheme::kWeightedThenSimpleAverage}) {
     Vector w(3);
-    ASSERT_TRUE(aggregate(scheme, contributions, w));
+    ASSERT_TRUE(aggregate_all(scheme, contributions, w));
     for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(w[i], u[i], 1e-12);
   }
 }
 
 TEST(Aggregate, DimensionMismatchThrows) {
   Vector a{1.0, 2.0}, b{1.0};
-  std::vector<Contribution> contributions{{0, &a, 1.0}, {1, &b, 1.0}};
-  Vector w(2);
-  EXPECT_THROW(
-      aggregate(SamplingScheme::kWeightedThenSimpleAverage, contributions, w),
-      std::invalid_argument);
+  PartialAggregate partial(SamplingScheme::kWeightedThenSimpleAverage, 2);
+  partial.accumulate({0, &a, 1.0});
+  EXPECT_THROW(partial.accumulate({1, &b, 1.0}), std::invalid_argument);
+}
+
+TEST(Aggregate, FinalizeDimensionMismatchThrows) {
+  Vector a{1.0, 2.0};
+  PartialAggregate partial(SamplingScheme::kWeightedThenSimpleAverage, 2);
+  partial.accumulate({0, &a, 1.0});
+  Vector w(3);
+  EXPECT_THROW(partial.finalize(w), std::invalid_argument);
 }
 
 TEST(Aggregate, ZeroSampleTotalThrowsForWeightedScheme) {
   Vector a{1.0};
-  std::vector<Contribution> contributions{{0, &a, 0.0}};
+  PartialAggregate partial(SamplingScheme::kUniformThenWeightedAverage, 1);
+  partial.accumulate({0, &a, 0.0});
   Vector w(1);
-  EXPECT_THROW(aggregate(SamplingScheme::kUniformThenWeightedAverage,
-                         contributions, w),
-               std::invalid_argument);
+  EXPECT_THROW(partial.finalize(w), std::invalid_argument);
 }
 
 TEST(Aggregate, SingleContributorCopiesUpdate) {
   Vector a{7.0, -3.0};
   std::vector<Contribution> contributions{{4, &a, 17.0}};
   Vector w(2);
-  ASSERT_TRUE(
-      aggregate(SamplingScheme::kUniformThenWeightedAverage, contributions, w));
+  ASSERT_TRUE(aggregate_all(SamplingScheme::kUniformThenWeightedAverage,
+                            contributions, w));
   EXPECT_DOUBLE_EQ(w[0], 7.0);
   EXPECT_DOUBLE_EQ(w[1], -3.0);
+}
+
+TEST(Aggregate, MergeOfMismatchedPartialsThrows) {
+  PartialAggregate a(SamplingScheme::kUniformThenWeightedAverage, 2);
+  PartialAggregate wrong_dim(SamplingScheme::kUniformThenWeightedAverage, 3);
+  PartialAggregate wrong_scheme(SamplingScheme::kWeightedThenSimpleAverage, 2);
+  EXPECT_THROW(a.merge(std::move(wrong_dim)), std::invalid_argument);
+  EXPECT_THROW(a.merge(std::move(wrong_scheme)), std::invalid_argument);
+}
+
+// The tentpole property: random partitions of a contribution set into
+// 1..8 shards, each shard accumulated independently, partials merged in
+// shuffled order — the finalized model must be bit-identical to the
+// single-shot aggregation, for both weighting schemes. Updates use
+// awkward magnitudes so any floating-point reassociation would show.
+TEST(Aggregate, ShardedMergeIsBitIdenticalToSingleShot) {
+  constexpr std::size_t kDevices = 37;
+  constexpr std::size_t kDim = 11;
+  std::mt19937_64 rng(1234);
+  std::uniform_real_distribution<double> coord(-1.0, 1.0);
+  std::uniform_int_distribution<int> mag(-40, 40);
+  std::uniform_real_distribution<double> samples(1.0, 400.0);
+
+  std::vector<Vector> updates(kDevices, Vector(kDim));
+  std::vector<Contribution> contributions;
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    for (auto& x : updates[d]) x = std::ldexp(coord(rng), mag(rng));
+    contributions.push_back({d, &updates[d], std::floor(samples(rng))});
+  }
+
+  for (auto scheme : {SamplingScheme::kUniformThenWeightedAverage,
+                      SamplingScheme::kWeightedThenSimpleAverage}) {
+    Vector expected(kDim);
+    ASSERT_TRUE(aggregate_all(scheme, contributions, expected));
+
+    for (std::size_t shards = 1; shards <= 8; ++shards) {
+      // Random partition: each contribution lands on a random shard, so
+      // some shards may be empty.
+      std::uniform_int_distribution<std::size_t> pick(0, shards - 1);
+      std::vector<PartialAggregate> partials;
+      for (std::size_t s = 0; s < shards; ++s) partials.emplace_back(scheme, kDim);
+      for (const Contribution& c : contributions) {
+        partials[pick(rng)].accumulate(c);
+      }
+
+      std::vector<std::size_t> order(shards);
+      for (std::size_t s = 0; s < shards; ++s) order[s] = s;
+      std::shuffle(order.begin(), order.end(), rng);
+
+      PartialAggregate root(scheme, kDim);
+      for (std::size_t s : order) root.merge(std::move(partials[s]));
+
+      Vector w(kDim);
+      ASSERT_TRUE(root.finalize(w));
+      for (std::size_t i = 0; i < kDim; ++i) {
+        EXPECT_EQ(w[i], expected[i])
+            << "scheme " << static_cast<int>(scheme) << ", shards " << shards
+            << ", coordinate " << i;
+      }
+    }
+  }
+}
+
+// Zero contributors stays degraded through any merge tree: merging empty
+// partials never fabricates an update.
+TEST(Aggregate, MergedEmptyPartialsStayDegraded) {
+  for (auto scheme : {SamplingScheme::kUniformThenWeightedAverage,
+                      SamplingScheme::kWeightedThenSimpleAverage}) {
+    PartialAggregate root(scheme, 3);
+    for (std::size_t s = 0; s < 4; ++s) {
+      root.merge(PartialAggregate(scheme, 3));
+    }
+    Vector w{1.0, 2.0, 3.0};
+    EXPECT_FALSE(root.finalize(w));
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+    EXPECT_DOUBLE_EQ(w[1], 2.0);
+    EXPECT_DOUBLE_EQ(w[2], 3.0);
+  }
 }
 
 }  // namespace

@@ -1,8 +1,8 @@
-// Corruption fuzz for the FPB1/FPU1 wire decoders: feed thousands of
-// randomly mutated (bit-flipped, truncated, extended, spliced) valid
-// encodings through decode_broadcast/decode_update and require that
-// every outcome is either a successful decode or a clean
-// std::runtime_error — never any other exception type, crash, or
+// Corruption fuzz for the FPB1/FPU1/FPS1 wire decoders: feed thousands
+// of randomly mutated (bit-flipped, truncated, extended, spliced) valid
+// encodings through decode_broadcast/decode_update/decode_partial_sum
+// and require that every outcome is either a successful decode or a
+// clean std::runtime_error — never any other exception type, crash, or
 // sanitizer finding. The ASan/UBSan and TSan CI jobs run this test, so
 // out-of-bounds reads in the decoders' length handling fail loudly.
 
@@ -118,6 +118,24 @@ class SerializeFuzzTest : public ::testing::Test {
     }
     return encode_update(u);
   }
+
+  static WireBuffer valid_partial() {
+    PartialSumUpdate p;
+    p.round = 3;
+    p.shard = 2;
+    p.partial =
+        PartialAggregate(SamplingScheme::kUniformThenWeightedAverage, 9);
+    static const Vector update = [] {
+      Vector v(9);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = 0.75 - 0.3 * static_cast<double>(i);
+      }
+      return v;
+    }();
+    p.partial.accumulate({4, &update, 123.0});
+    p.partial.accumulate({5, &update, 7.0});
+    return encode_partial_sum(p);
+  }
 };
 
 TEST_F(SerializeFuzzTest, MutatedBroadcastsDecodeOrRejectCleanly) {
@@ -151,13 +169,28 @@ TEST_F(SerializeFuzzTest, MutatedUpdatesDecodeOrRejectCleanly) {
   EXPECT_GT(rejected, kSeeds / 2);
 }
 
+TEST_F(SerializeFuzzTest, MutatedPartialSumsDecodeOrRejectCleanly) {
+  const WireBuffer wire = valid_partial();
+  std::size_t rejected = 0;
+  for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(seed, {static_cast<std::uint64_t>(StreamKind::kTest), 3});
+    const WireBuffer damaged = mutate(wire, rng);
+    const auto outcome = run_decoder(
+        [](std::span<const std::uint8_t> b) { return decode_partial_sum(b); },
+        damaged);
+    if (outcome == DecodeOutcome::kRejected) ++rejected;
+  }
+  EXPECT_GT(rejected, kSeeds / 2);
+}
+
 TEST_F(SerializeFuzzTest, DegenerateBuffersAreRejected) {
   for (const WireBuffer& buffer :
        {WireBuffer{}, WireBuffer{0x00}, WireBuffer{'F', 'P', 'B', '1'},
-        WireBuffer{'F', 'P', 'U', '1'}, WireBuffer(3, 0xFF),
-        WireBuffer(11, 0xAB)}) {
+        WireBuffer{'F', 'P', 'U', '1'}, WireBuffer{'F', 'P', 'S', '1'},
+        WireBuffer(3, 0xFF), WireBuffer(11, 0xAB)}) {
     EXPECT_THROW((void)decode_broadcast(buffer), std::runtime_error);
     EXPECT_THROW((void)decode_update(buffer), std::runtime_error);
+    EXPECT_THROW((void)decode_partial_sum(buffer), std::runtime_error);
   }
 }
 
@@ -173,6 +206,11 @@ TEST_F(SerializeFuzzTest, IntactBuffersStillRoundTrip) {
       decode_update(std::span<const std::uint8_t>(valid_update()));
   EXPECT_EQ(u.result.device, 4u);
   EXPECT_EQ(u.result.update.size(), 37u);
+  const PartialSumUpdate p =
+      decode_partial_sum(std::span<const std::uint8_t>(valid_partial()));
+  EXPECT_EQ(p.shard, 2u);
+  EXPECT_EQ(p.partial.dim(), 9u);
+  EXPECT_EQ(p.partial.contributors(), 2u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -194,6 +195,76 @@ TEST_F(SerializeTest, WirePayloadMatchesOldAnalyticalEstimate) {
   // A FedDane correction rides as a second payload of the same shape.
   EXPECT_EQ(broadcast_wire_size(10, 10) - kBroadcastEnvelopeBytes,
             2 * 10 * sizeof(double));
+}
+
+// A shard partial with cancellation-heavy state: only an exact register
+// round trip reproduces the finalized model bit-for-bit.
+PartialSumUpdate sample_partial() {
+  PartialSumUpdate p;
+  p.round = 17;
+  p.shard = 3;
+  p.partial = PartialAggregate(SamplingScheme::kUniformThenWeightedAverage, 4);
+  const Vector a{1e16, -2.25, 1e-300, 3.141592653589793};
+  const Vector b{1.0, 2.25, -1e-300, -3.141592653589793};
+  p.partial.accumulate({0, &a, 30.0});
+  p.partial.accumulate({1, &b, 10.0});
+  return p;
+}
+
+TEST_F(SerializeTest, PartialSumRoundTripsExactly) {
+  const PartialSumUpdate p = sample_partial();
+  const WireBuffer wire = encode_partial_sum(p);
+  EXPECT_EQ(wire.size(), partial_sum_wire_size(p));
+  const PartialSumUpdate back = decode_partial_sum(wire);
+  EXPECT_EQ(back.round, p.round);
+  EXPECT_EQ(back.shard, p.shard);
+  EXPECT_EQ(back.partial.scheme(), p.partial.scheme());
+  EXPECT_EQ(back.partial.dim(), p.partial.dim());
+  EXPECT_EQ(back.partial.contributors(), p.partial.contributors());
+  // The registers round-trip verbatim...
+  for (std::size_t i = 0; i < p.partial.dim(); ++i) {
+    const auto sent = p.partial.coordinate_sums()[i].limbs();
+    const auto got = back.partial.coordinate_sums()[i].limbs();
+    EXPECT_TRUE(std::equal(sent.begin(), sent.end(), got.begin())) << i;
+  }
+  // ...so the finalized model is bit-identical.
+  Vector expected(p.partial.dim()), decoded(p.partial.dim());
+  ASSERT_TRUE(p.partial.finalize(expected));
+  ASSERT_TRUE(back.partial.finalize(decoded));
+  EXPECT_EQ(expected, decoded);
+}
+
+TEST_F(SerializeTest, EmptyPartialSumRoundTrips) {
+  PartialSumUpdate p;
+  p.partial = PartialAggregate(SamplingScheme::kWeightedThenSimpleAverage, 2);
+  const PartialSumUpdate back = decode_partial_sum(encode_partial_sum(p));
+  EXPECT_EQ(back.partial.scheme(), p.partial.scheme());
+  EXPECT_EQ(back.partial.contributors(), 0u);
+  Vector w{5.0, 6.0};
+  EXPECT_FALSE(back.partial.finalize(w));  // still degraded after the wire
+}
+
+TEST_F(SerializeTest, DecodePartialSumRejectsCorruptBuffers) {
+  const WireBuffer wire = encode_partial_sum(sample_partial());
+
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{19}, wire.size() / 2,
+        wire.size() - 1}) {
+    WireBuffer cut(wire.begin(), wire.begin() + keep);
+    EXPECT_THROW(decode_partial_sum(cut), std::runtime_error) << keep;
+  }
+
+  WireBuffer bad_magic = wire;
+  bad_magic[2] = 'Q';
+  EXPECT_THROW(decode_partial_sum(bad_magic), std::runtime_error);
+
+  WireBuffer trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_partial_sum(trailing), std::runtime_error);
+
+  WireBuffer bad_scheme = wire;
+  bad_scheme[4 + 8 + 8] = 9;  // scheme byte: not 0/1
+  EXPECT_THROW(decode_partial_sum(bad_scheme), std::runtime_error);
 }
 
 TEST_F(SerializeTest, DecodeBroadcastRejectsCorruptBuffers) {

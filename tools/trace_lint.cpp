@@ -11,6 +11,9 @@
 // attempt / delivery count (every device moves the same wire-format
 // payload within a round, per attempt); retries reconcile with the
 // failed-attempt counts, and a degraded round has zero contributors.
+// The per-shard block ("shards") must partition the round: shard device,
+// contributor, and byte columns sum to the round totals, and every shard
+// ships a non-empty FPS1 partial to the root.
 // Chrome checks: the document parses, traceEvents is non-empty, "X"
 // events nest properly per thread (a stack check over ts/dur), async
 // "b"/"e" pairs match up by id, the run/round/exchange spans are
@@ -60,7 +63,7 @@ void check_round_line(const std::string& path, std::size_t lineno,
                       const JsonValue& value) {
   const std::string where = path + ":" + std::to_string(lineno);
   for (const char* key : {"bytes_down", "bytes_up", "selected", "contributors",
-                          "faults", "degraded"}) {
+                          "faults", "degraded", "shards"}) {
     if (!value.contains(key)) {
       fail(where + ": round line lacks \"" + std::string(key) + "\"");
     }
@@ -128,6 +131,62 @@ void check_round_line(const std::string& path, std::size_t lineno,
   if (up_deliveries > 0 && bytes_up % up_deliveries != 0) {
     fail(where + ": bytes_up=" + std::to_string(bytes_up) +
          " not divisible by up_deliveries=" + std::to_string(up_deliveries));
+  }
+
+  // Per-shard partition: the shard columns must sum back to the round
+  // totals, the shard indices must be dense, and every shard must have
+  // shipped a non-empty FPS1 partial to the root.
+  const auto& shards = value.at("shards").as_array();
+  if (shards.empty() && selected > 0) {
+    fail(where + ": round selected devices but has an empty \"shards\" array");
+  }
+  std::uint64_t shard_devices = 0;
+  std::uint64_t shard_contributors = 0;
+  std::uint64_t shard_bytes_down = 0;
+  std::uint64_t shard_bytes_up = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const JsonValue& shard = shards[s];
+    if (!shard.is_object()) {
+      fail(where + ": shards[" + std::to_string(s) + "] is not an object");
+    }
+    for (const char* key : {"shard", "devices", "contributors", "bytes_down",
+                            "bytes_up", "partial_bytes"}) {
+      if (!shard.contains(key)) {
+        fail(where + ": shards[" + std::to_string(s) + "] lacks \"" +
+             std::string(key) + "\"");
+      }
+    }
+    if (count(shard, "shard") != s) {
+      fail(where + ": shards[" + std::to_string(s) + "] carries index " +
+           std::to_string(count(shard, "shard")) +
+           " (shard indices must be dense)");
+    }
+    shard_devices += count(shard, "devices");
+    shard_contributors += count(shard, "contributors");
+    shard_bytes_down += count(shard, "bytes_down");
+    shard_bytes_up += count(shard, "bytes_up");
+    if (count(shard, "partial_bytes") == 0) {
+      fail(where + ": shards[" + std::to_string(s) +
+           "] shipped zero partial bytes to the root");
+    }
+  }
+  if (shard_devices != selected) {
+    fail(where + ": shard devices sum to " + std::to_string(shard_devices) +
+         " != selected=" + std::to_string(selected));
+  }
+  if (shard_contributors != contributors) {
+    fail(where + ": shard contributors sum to " +
+         std::to_string(shard_contributors) +
+         " != contributors=" + std::to_string(contributors));
+  }
+  if (shard_bytes_down != bytes_down) {
+    fail(where + ": shard bytes_down sum to " +
+         std::to_string(shard_bytes_down) +
+         " != bytes_down=" + std::to_string(bytes_down));
+  }
+  if (shard_bytes_up != bytes_up) {
+    fail(where + ": shard bytes_up sum to " + std::to_string(shard_bytes_up) +
+         " != bytes_up=" + std::to_string(bytes_up));
   }
 }
 
