@@ -25,7 +25,12 @@ BenchOptions parse_options(const CliFlags& flags) {
       static_cast<std::size_t>(flags.get_int("rounds", 0));
   options.out_dir = flags.get_string("out-dir", "bench_out");
   options.trace_out = flags.get_optional_string("trace-out").value_or("");
+  options.trace_rotate_mb =
+      static_cast<std::size_t>(flags.get_int("trace-rotate-mb", 0));
   options.profile_out = flags.get_optional_string("profile-out").value_or("");
+  options.metrics_out = flags.get_optional_string("metrics-out").value_or("");
+  options.metrics_every = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("metrics-every", 1)));
   options.transport = flags.get_string("transport", "inprocess");
   parse_transport_kind(options.transport);  // fail fast on a bad value
   if (auto faults = flags.get_optional_string("faults")) {
@@ -85,9 +90,31 @@ void apply_faults(TrainerConfig& config, const BenchOptions& options) {
 
 TraceCapture::TraceCapture(const BenchOptions& options) {
   if (!options.trace_out.empty()) {
-    sink_ = std::make_unique<JsonlTraceSink>(options.trace_out);
-    observer_ = std::make_unique<TraceObserver>(*sink_);
-    log_info() << "streaming round traces to " << options.trace_out;
+    RotationPolicy rotation;
+    rotation.max_bytes = options.trace_rotate_mb * 1024 * 1024;
+    sink_ = std::make_unique<JsonlTraceSink>(options.trace_out, rotation);
+    tracer_ = std::make_unique<TraceObserver>(*sink_);
+    log_info() << "streaming round traces to " << options.trace_out
+               << (rotation.max_bytes
+                       ? " (rotating past " +
+                             std::to_string(options.trace_rotate_mb) + " MiB)"
+                       : "");
+  }
+  if (!options.metrics_out.empty()) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    metrics_ = std::make_unique<MetricsObserver>(*registry_);
+    exporter_ = std::make_unique<MetricsExporter>(
+        *registry_, options.metrics_out, options.metrics_every);
+    log_info() << "publishing Prometheus metrics to " << options.metrics_out
+               << " every " << options.metrics_every << " round(s)";
+  }
+  if (metrics_) {
+    // The feeder must run before the publisher so each scrape file
+    // reflects the round it just finished.
+    composite_ = std::make_unique<CompositeObserver>();
+    if (tracer_) composite_->add(*tracer_);
+    composite_->add(*metrics_);
+    composite_->add(*exporter_);
   }
   if (!options.profile_out.empty()) {
     profile_out_ = options.profile_out;
@@ -96,6 +123,11 @@ TraceCapture::TraceCapture(const BenchOptions& options) {
     log_info() << "span profiler on; Chrome trace will land at "
                << profile_out_;
   }
+}
+
+TrainingObserver* TraceCapture::observer() const {
+  return composite_ ? static_cast<TrainingObserver*>(composite_.get())
+                    : tracer_.get();
 }
 
 TraceCapture::~TraceCapture() {

@@ -7,7 +7,14 @@
 //   --epochs E       local epochs E (default 20, the paper's Figure 1/2)
 //   --out-dir DIR    where CSVs land (default bench_out/)
 //   --trace-out P    stream per-round JSONL phase traces to P (obs/)
+//   --trace-rotate-mb N  roll the JSONL trace when it passes N MiB,
+//                    keeping a bounded set of .1/.2/... generations that
+//                    each re-start with the run header (0 = off)
 //   --profile-out P  write a Chrome trace-event span profile to P (obs/)
+//   --metrics-out P  publish a Prometheus text-format scrape file to P,
+//                    atomically rewritten as the run progresses (obs/
+//                    exposition.h); lint with trace_lint --metrics
+//   --metrics-every N  rewrite --metrics-out every N rounds (default 1)
 //   --transport T    federation transport: inprocess (default, zero-copy)
 //                    or serialized (round-trip the binary wire format)
 //   --faults SPEC    inject channel faults (comm/fault.h), e.g.
@@ -29,6 +36,8 @@
 #include "comm/fault.h"
 #include "core/experiment.h"
 #include "core/registry.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "support/cli.h"
 #include "support/csv.h"
@@ -42,7 +51,10 @@ struct BenchOptions {
   std::size_t rounds_override = 0;  // 0 = workload default
   std::string out_dir = "bench_out";
   std::string trace_out;            // empty = tracing disabled
+  std::size_t trace_rotate_mb = 0;  // 0 = no JSONL rotation
   std::string profile_out;          // empty = span profiler disabled
+  std::string metrics_out;          // empty = no Prometheus exposition
+  std::size_t metrics_every = 1;    // rounds between metric publishes
   std::string transport = "inprocess";  // parse_transport_kind values
   FaultProfile faults;                  // all-zero = clean channel
   RecoveryConfig recovery;              // retry/deadline/quorum policy
@@ -75,11 +87,13 @@ void apply_common_flags(TrainerConfig& config, const BenchOptions& options);
 // logs the channel-fault banner (part of apply_common_flags).
 void apply_faults(TrainerConfig& config, const BenchOptions& options);
 
-// Owns the JSONL trace sink + observer created from --trace-out, and the
-// span-profiler session created from --profile-out (enables the profiler
-// at construction, drains it into a Chrome trace-event file at
-// destruction). Keep it alive for the whole driver run and pass
-// observer() (nullptr when the flag is unset) to
+// Owns the JSONL trace sink + observer created from --trace-out (with
+// --trace-rotate-mb rotation), the Prometheus registry/feeder/exporter
+// stack created from --metrics-out, and the span-profiler session
+// created from --profile-out (enables the profiler at construction,
+// drains it into a Chrome trace-event file at destruction). Keep it
+// alive for the whole driver run and pass observer() (nullptr when no
+// flag is set; a CompositeObserver when several are) to
 // RunVariantsOptions::observer:
 //
 //   TraceCapture trace(options);
@@ -93,11 +107,17 @@ class TraceCapture {
   TraceCapture(const TraceCapture&) = delete;
   TraceCapture& operator=(const TraceCapture&) = delete;
 
-  TrainingObserver* observer() const { return observer_.get(); }
+  TrainingObserver* observer() const;
+  // Non-null when --metrics-out is active (for end-of-run dumps).
+  MetricsRegistry* registry() const { return registry_.get(); }
 
  private:
   std::unique_ptr<TraceSink> sink_;
-  std::unique_ptr<TrainingObserver> observer_;
+  std::unique_ptr<TrainingObserver> tracer_;
+  std::unique_ptr<MetricsRegistry> registry_;     // --metrics-out stack:
+  std::unique_ptr<MetricsObserver> metrics_;      // feeder first,
+  std::unique_ptr<MetricsExporter> exporter_;     // publisher second
+  std::unique_ptr<CompositeObserver> composite_;  // when several are live
   std::string profile_out_;  // empty = profiler not owned by this capture
 };
 

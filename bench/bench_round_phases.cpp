@@ -1,14 +1,18 @@
 // Round-phase timing benchmark: where a federated round's time goes, and
 // what the observability layer costs.
 //
-// Runs FedProx on Synthetic(1,1) for 20 rounds in four modes —
+// Runs FedProx on Synthetic(1,1) for 20 rounds in five modes —
 // observer-free baseline, full observers (JSONL trace sink + collector),
-// observers + span profiler, and the serialized transport (every
-// broadcast/update round-trips the binary wire format) — and writes
-// BENCH_trainer_round.json with per-phase means, the observer/profiler/
-// serialization overheads, and the exact transport-measured bytes moved
-// per round. The JSONL trace lands next to the CSVs (override with
-// --trace-out); pass --profile-out to also keep one rep's Chrome trace.
+// observers + span profiler, the Prometheus telemetry stack (metrics
+// feeder + file exporter, obs/exposition.h), and the serialized
+// transport (every broadcast/update round-trips the binary wire format)
+// — and writes BENCH_trainer_round.json with per-phase means, the
+// observer/profiler/telemetry/serialization overheads, the exact
+// transport-measured bytes moved per round, and the final registry dump
+// with full histogram buckets. The telemetry rep's history is checked
+// bit-identical against the baseline ("history_bit_identical"). The
+// JSONL trace lands next to the CSVs (override with --trace-out); pass
+// --profile-out to also keep one rep's Chrome trace.
 //
 //   ./bench_round_phases [--rounds 20] [--reps 3] [--stragglers 0.5]
 
@@ -18,6 +22,7 @@
 #include "bench_common.h"
 #include "comm/transport.h"
 #include "obs/chrome_trace.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
@@ -31,12 +36,15 @@ using namespace fed;
 using namespace fed::bench;
 
 double run_once(const Workload& workload, const TrainerConfig& config,
-                TrainingObserver* observer, ThreadPool* pool = nullptr) {
+                TrainingObserver* observer, ThreadPool* pool = nullptr,
+                TrainHistory* history = nullptr) {
   Trainer trainer(*workload.model, workload.data, config, pool);
   if (observer) trainer.add_observer(*observer);
   Stopwatch timer;
-  trainer.run();
-  return timer.seconds();
+  TrainHistory h = trainer.run();
+  const double seconds = timer.seconds();
+  if (history) *history = std::move(h);
+  return seconds;
 }
 
 }  // namespace
@@ -76,11 +84,19 @@ int main(int argc, char** argv) {
   // scheduler noise from a wall-clock comparison.
   run_once(workload, config, nullptr);
 
+  const std::string metrics_path =
+      options.metrics_out.empty()
+          ? options.out_dir + "/trainer_round_metrics.prom"
+          : options.metrics_out;
+
   double baseline = 0.0;
   double observed = 0.0;
   double profiled = 0.0;
+  double telemetry = 0.0;
   double serialized = 0.0;
   std::size_t profiled_events = 0;
+  bool history_identical = true;
+  JsonValue metrics_dump;
   TrainerConfig serialized_config = config;
   serialized_config.transport = make_transport(TransportKind::kSerialized);
   TraceCollector collector;
@@ -89,7 +105,9 @@ int main(int argc, char** argv) {
   Profiler& profiler = Profiler::instance();
   profiler.set_thread_name("main");
   for (std::size_t rep = 0; rep < reps; ++rep) {
-    const double b = run_once(workload, config, nullptr);
+    TrainHistory baseline_history;
+    const double b = run_once(workload, config, nullptr, nullptr,
+                              &baseline_history);
     baseline = rep ? std::min(baseline, b) : b;
 
     collector.clear();
@@ -121,6 +139,30 @@ int main(int argc, char** argv) {
         save_json_file(options.profile_out, chrome_trace_json(snapshot));
         std::cout << "kept last profiled rep's Chrome trace at "
                   << options.profile_out << "\n";
+      }
+    }
+
+    // Telemetry rep: metrics feeder + Prometheus file exporter, the
+    // --metrics-out stack. Trace contexts ride the wire either way, so
+    // this rep's history must be bit-identical to the baseline's.
+    {
+      MetricsRegistry registry;
+      MetricsObserver metrics(registry);
+      MetricsExporter exporter(registry, metrics_path,
+                               options.metrics_every);
+      CompositeObserver telemetry_stack;
+      telemetry_stack.add(metrics);
+      telemetry_stack.add(exporter);
+      TrainHistory telemetry_history;
+      const double m = run_once(workload, config, &telemetry_stack, nullptr,
+                                &telemetry_history);
+      telemetry = rep ? std::min(telemetry, m) : m;
+      history_identical =
+          history_identical &&
+          telemetry_history.final_parameters ==
+              baseline_history.final_parameters;
+      if (rep + 1 == reps) {
+        metrics_dump = registry.to_json(/*include_buckets=*/true);
       }
     }
 
@@ -182,6 +224,17 @@ int main(int argc, char** argv) {
   // payload through the wire codecs, plus the exact bytes it measured
   // per round (identical to the in-process transport's analytical
   // accounting — asserted in tests/comm_transport_test.cpp).
+  // Telemetry rep: cost of the metrics feeder + Prometheus exporter, and
+  // proof it did not perturb training. The registry dump keeps the full
+  // bucket arrays so round/solve latency histograms survive the run.
+  const double telemetry_overhead_pct =
+      baseline > 0.0 ? 100.0 * (telemetry - baseline) / baseline : 0.0;
+  out["telemetry_seconds"] = telemetry;
+  out["telemetry_overhead_pct"] = telemetry_overhead_pct;
+  out["history_bit_identical"] = history_identical;
+  out["metrics_path"] = metrics_path;
+  out["metrics"] = std::move(metrics_dump);
+
   const double serialized_overhead_pct =
       baseline > 0.0 ? 100.0 * (serialized - baseline) / baseline : 0.0;
   out["serialized_seconds"] = serialized;
@@ -215,8 +268,12 @@ int main(int argc, char** argv) {
             << TablePrinter::fmt(profiler_overhead_pct, 2) << "%, "
             << profiled_events << " events, kernel spans "
             << (kProfileKernels ? "compiled" : "off")
+            << "), telemetry " << telemetry << "s (overhead "
+            << TablePrinter::fmt(telemetry_overhead_pct, 2) << "%, history "
+            << (history_identical ? "bit-identical" : "DIVERGED")
             << "), serialized transport " << serialized << "s (overhead "
             << TablePrinter::fmt(serialized_overhead_pct, 2) << "%)\nwrote "
-            << json_path << " and " << trace_path << "\n";
+            << json_path << ", " << trace_path << ", and " << metrics_path
+            << "\n";
   return 0;
 }

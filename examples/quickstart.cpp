@@ -5,7 +5,9 @@
 //                [--transport inprocess|serialized] [--shards N]
 //                [--faults drop=0.1,corrupt=0.01,delay_ms=50]
 //                [--retries 2] [--deadline-ms 0] [--quorum 1.0]
-//                [--trace-out trace.jsonl] [--profile-out run.trace.json]
+//                [--trace-out trace.jsonl] [--trace-rotate-mb N]
+//                [--profile-out run.trace.json]
+//                [--metrics-out metrics.prom] [--metrics-every N]
 //
 // The channel/server flags are the shared bench set (bench/bench_common.h):
 // quickstart only adds --mu/--rounds/--stragglers on top.

@@ -8,6 +8,7 @@
 #include "core/feddane.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
+#include "obs/trace_context.h"
 #include "sim/aggregate.h"
 #include "sim/server.h"
 #include "sim/sharded.h"
@@ -113,6 +114,12 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   trace.round = t + 1;
   Stopwatch phase_timer;
 
+  // The round's trace context: deterministic in (seed, round), stamped
+  // into every message this round moves so device- and shard-side spans
+  // correlate back to it across the wire (obs/trace_context.h). Minted
+  // unconditionally — wire bytes must not depend on profiler state.
+  const TraceContext round_ctx = make_round_trace_context(config_.seed, t + 1);
+
   // 1. Select devices (deterministic in (seed, round); identical across
   //    algorithms under the same seed).
   // 2. Assign systems budgets (who straggles, how much work each gets).
@@ -159,7 +166,17 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   {
     Span span("solve_parallel", "phase", "round",
               static_cast<std::int64_t>(t + 1), "devices",
-              static_cast<std::int64_t>(selected.size()));
+              static_cast<std::int64_t>(selected.size()), "trace_id",
+              static_cast<std::int64_t>(round_ctx.trace_id));
+    // One flow arrow per device leaves the round thread here and lands in
+    // that device's worker-side exchange span below. Ids are derived, not
+    // counted, so both ends agree without synchronization.
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      flow_start("exchange_flow", "flow",
+                 derive_trace_span(round_ctx.trace_id,
+                                   TraceSpanKind::kExchange, selected[i]),
+                 "device", static_cast<std::int64_t>(selected[i]));
+    }
     pool_->parallel_for(selected.size(), [&](std::size_t i) {
       // Worker-side span: lands on the pool thread's track. Recording
       // draws no randomness, so determinism is untouched.
@@ -167,13 +184,28 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
                          static_cast<std::int64_t>(t + 1), "device",
                          static_cast<std::int64_t>(selected[i]), "iterations",
                          static_cast<std::int64_t>(budgets[i].iterations));
+      const std::uint64_t exchange_span_id = derive_trace_span(
+          round_ctx.trace_id, TraceSpanKind::kExchange, selected[i]);
+      flow_end("exchange_flow", "flow", exchange_span_id, "device",
+               static_cast<std::int64_t>(selected[i]));
       ModelBroadcast broadcast{.round = t + 1,
+                               .trace = {round_ctx.trace_id, exchange_span_id},
                                .config = round_config,
                                .budget = budgets[i],
                                .parameters = w,
                                .correction = {}};
       if (!corrections.empty()) broadcast.correction = corrections[i];
       outcomes[i] = exchange_with_recovery(broadcast, t + 1, selected[i]);
+      if (outcomes[i].accepted) {
+        // The update's journey to aggregation: starts in the worker that
+        // produced it, lands in the round thread's aggregate span (which
+        // closes it even for updates the quorum cut or the FedAvg
+        // straggler rule later discards — the message still arrived).
+        flow_start("update_flow", "flow",
+                   derive_trace_span(round_ctx.trace_id,
+                                     TraceSpanKind::kUpdateFlow, selected[i]),
+                   "device", static_cast<std::int64_t>(selected[i]));
+      }
     });
   }
   trace.solve_wall_seconds = phase_timer.seconds();
@@ -257,9 +289,19 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   bool updated = false;
   {
     Span span("aggregate", "phase", "round", static_cast<std::int64_t>(t + 1),
-              "shards", static_cast<std::int64_t>(slices.size()));
+              "shards", static_cast<std::int64_t>(slices.size()), "trace_id",
+              static_cast<std::int64_t>(round_ctx.trace_id));
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       const DeviceOutcome& oc = outcomes[i];
+      // Close the update flow for every update that reached the server —
+      // including those the quorum cut revoked or the FedAvg straggler
+      // rule discards below — so each worker-side "s" has exactly one "f".
+      if (oc.accepted || oc.quorum_dropped) {
+        flow_end("update_flow", "flow",
+                 derive_trace_span(round_ctx.trace_id,
+                                   TraceSpanKind::kUpdateFlow, selected[i]),
+                 "device", static_cast<std::int64_t>(selected[i]));
+      }
       if (!oc.accepted) continue;
       const ClientResult& r = oc.record.result();
       if (r.straggler) ++straggler_total;
@@ -270,7 +312,7 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
       shard_stats[shard_of[i]].bytes_up += oc.record.bytes_up;
       up_deliveries += oc.record.duplicate ? 2 : 1;
     }
-    updated = server.reduce(t + 1, w);
+    updated = server.reduce(t + 1, w, round_ctx);
   }
   trace.aggregate_seconds = phase_timer.seconds();
   for (std::size_t s = 0; s < shard_stats.size(); ++s) {

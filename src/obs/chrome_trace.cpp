@@ -24,6 +24,8 @@ const char* phase_of(ProfileEvent::Type type) {
     case ProfileEvent::Type::kComplete: return "X";
     case ProfileEvent::Type::kAsyncBegin: return "b";
     case ProfileEvent::Type::kAsyncEnd: return "e";
+    case ProfileEvent::Type::kFlowStart: return "s";
+    case ProfileEvent::Type::kFlowEnd: return "f";
   }
   return "X";
 }
@@ -51,6 +53,11 @@ JsonValue chrome_trace_json(const Profiler::Snapshot& snapshot) {
       event["dur"] = static_cast<double>(e.dur_us);
     } else {
       event["id"] = static_cast<std::size_t>(e.id);
+    }
+    if (e.type == ProfileEvent::Type::kFlowEnd) {
+      // Bind the arrowhead to the *enclosing* slice (the span that was
+      // open at this timestamp), not the next one to start.
+      event["bp"] = "e";
     }
     if (e.num_args > 0) {
       JsonObject args;

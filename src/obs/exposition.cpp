@@ -1,0 +1,259 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fed {
+
+namespace {
+
+void append_labels(std::string& out, const MetricLabels& labels,
+                   const char* extra_key = nullptr,
+                   const std::string& extra_value = std::string()) {
+  if (labels.empty() && !extra_key) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (extra_key) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;  // le bounds come from the formatter, never escaped
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_help_and_type(std::string& out, const std::string& name,
+                          const MetricsSnapshot& snap, const char* type) {
+  const auto help = snap.help.find(name);
+  if (help != snap.help.end() && !help->second.empty()) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += escape_help_text(help->second);
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_help_text(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_exposition_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  // Shortest %g that round-trips exactly; tries 1..17 significant digits
+  // so 0.5 prints "0.5", not "0.50000000000000000".
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string text_exposition(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, samples] : snapshot.counters) {
+    append_help_and_type(out, name, snapshot, "counter");
+    for (const auto& s : samples) {
+      out += name;
+      append_labels(out, s.labels);
+      out += ' ';
+      out += std::to_string(s.value);
+      out += '\n';
+    }
+  }
+  for (const auto& [name, samples] : snapshot.gauges) {
+    append_help_and_type(out, name, snapshot, "gauge");
+    for (const auto& s : samples) {
+      out += name;
+      append_labels(out, s.labels);
+      out += ' ';
+      out += format_exposition_number(s.value);
+      out += '\n';
+    }
+  }
+  for (const auto& [name, samples] : snapshot.histograms) {
+    append_help_and_type(out, name, snapshot, "histogram");
+    for (const auto& s : samples) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < s.snapshot.buckets.size(); ++i) {
+        cumulative += s.snapshot.buckets[i];
+        out += name;
+        out += "_bucket";
+        append_labels(out, s.labels, "le",
+                      format_exposition_number(s.upper_edges[i]));
+        out += ' ';
+        out += std::to_string(cumulative);
+        out += '\n';
+      }
+      out += name;
+      out += "_sum";
+      append_labels(out, s.labels);
+      out += ' ';
+      out += format_exposition_number(s.snapshot.sum);
+      out += '\n';
+      out += name;
+      out += "_count";
+      append_labels(out, s.labels);
+      out += ' ';
+      out += std::to_string(s.snapshot.count);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string text_exposition(const MetricsRegistry& registry) {
+  return text_exposition(registry.snapshot());
+}
+
+void write_text_exposition(const std::string& path,
+                           const MetricsRegistry& registry) {
+  const std::string tmp = path + ".tmp";
+  {
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);  // open() reports
+    }
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("exposition: cannot open " + tmp);
+    }
+    out << text_exposition(registry);
+    if (!out) {
+      throw std::runtime_error("exposition: write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("exposition: rename " + tmp + " -> " + path +
+                             " failed: " + ec.message());
+  }
+}
+
+MetricsExporter::MetricsExporter(MetricsRegistry& registry, std::string path,
+                                 std::size_t every)
+    : registry_(registry),
+      path_(std::move(path)),
+      every_(every ? every : 1),
+      worker_([this] { worker_loop(); }) {}
+
+MetricsExporter::~MetricsExporter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void MetricsExporter::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return publish_requested_ || stop_; });
+      // Drain the pending request even when stopping, so a request made
+      // just before destruction still lands on disk.
+      if (!publish_requested_) return;
+      publish_requested_ = false;
+      busy_ = true;
+    }
+    std::exception_ptr error;
+    try {
+      write_text_exposition(path_, registry_);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+      if (error) {
+        if (!error_) error_ = error;
+      } else {
+        writes_.fetch_add(1, std::memory_order_release);
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
+void MetricsExporter::request_publish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    publish_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+void MetricsExporter::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !publish_requested_ && !busy_; });
+  if (error_) {
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void MetricsExporter::on_round_end(const RoundMetrics& metrics,
+                                   const RoundTrace& trace) {
+  (void)metrics;
+  (void)trace;
+  if (++rounds_seen_ % every_ != 0) return;
+  request_publish();
+}
+
+void MetricsExporter::on_run_end(const TrainHistory& history) {
+  (void)history;
+  request_publish();
+  flush();
+}
+
+}  // namespace fed

@@ -1,0 +1,121 @@
+// Prometheus text exposition (format 0.0.4) for MetricsRegistry, plus a
+// MetricsExporter observer that re-publishes a scrape file as training
+// progresses.
+//
+// The renderer walks one MetricsSnapshot, so every line of a document
+// reflects a single consistent read of the registry: per family a
+// `# HELP` line (when set_help was called), a `# TYPE` line, then one
+// sample per label set. Histograms expand to the cumulative
+// `<name>_bucket{le="..."}` series (last bucket `le="+Inf"`), plus
+// `<name>_sum` and `<name>_count`. Label values are escaped per the
+// spec (`\\`, `\"`, `\n`); families print counters, then gauges, then
+// histograms, each sorted by name, so the document is deterministic and
+// golden-testable.
+//
+// MetricsExporter publishes with write-temp-then-rename so an external
+// scraper (or tools/trace_lint --metrics) always reads a complete file,
+// never a torn one:
+//
+//   MetricsRegistry registry;
+//   MetricsObserver metrics(registry);
+//   MetricsExporter exporter(registry, "metrics.prom", /*every=*/10);
+//   trainer.add_observer(metrics);
+//   trainer.add_observer(exporter);  // after the feeder, so each publish
+//                                    // sees the round it just finished
+//
+// Publishing happens on a background writer thread: on_round_end only
+// flags a request (a mutex lock + notify), and the worker renders the
+// snapshot and does the temp+rename off the round thread, so filesystem
+// latency never stalls training. Requests coalesce latest-wins — if the
+// disk is slower than the round cadence, back-to-back requests collapse
+// into one write of the current registry state (counters are cumulative,
+// so a scraper never observes a regression). flush() blocks until the
+// queue drains; on_run_end publishes and flushes so the file always ends
+// on the final state before run() returns.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/observer.h"
+
+namespace fed {
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(const std::string& value);
+// HELP-text escaping: backslash and newline only (quotes are legal).
+std::string escape_help_text(const std::string& value);
+
+// Shortest decimal string that round-trips to the same double (with the
+// Prometheus spellings +Inf/-Inf/NaN). Used for every sample value and
+// `le` bound so the document is stable across runs.
+std::string format_exposition_number(double v);
+
+// Renders the full document, terminated by a trailing newline.
+std::string text_exposition(const MetricsSnapshot& snapshot);
+std::string text_exposition(const MetricsRegistry& registry);
+
+// Atomically publishes `registry` to `path`: renders to `<path>.tmp`,
+// then renames over `path`. Creates parent directories as needed;
+// throws std::runtime_error on I/O failure.
+void write_text_exposition(const std::string& path,
+                           const MetricsRegistry& registry);
+
+// Rewrites `path` every `every` completed rounds (and once more at run
+// end, so the file always ends on the final state). The exporter only
+// reads the registry — pair it with a MetricsObserver registered
+// *before* it, which does the feeding. Writes run on the exporter's own
+// writer thread (see file comment); call flush() before reading the
+// published file from the requesting thread.
+class MetricsExporter final : public TrainingObserver {
+ public:
+  MetricsExporter(MetricsRegistry& registry, std::string path,
+                  std::size_t every = 1);
+  ~MetricsExporter() override;
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  void on_round_end(const RoundMetrics& metrics,
+                    const RoundTrace& trace) override;
+  void on_run_end(const TrainHistory& history) override;
+
+  // Blocks until every requested publish has hit the disk, then rethrows
+  // the first writer-thread I/O error, if any (on_run_end flushes too,
+  // so run() surfaces publish failures).
+  void flush();
+
+  const std::string& path() const { return path_; }
+  // Completed publishes. Coalescing means this can be lower than the
+  // number of rounds / every_ — it counts files actually written.
+  std::size_t writes() const {
+    return writes_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void request_publish();
+  void worker_loop();
+
+  MetricsRegistry& registry_;
+  std::string path_;
+  std::size_t every_;
+  std::size_t rounds_seen_ = 0;
+  std::atomic<std::size_t> writes_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool publish_requested_ = false;  // guarded by mu_
+  bool busy_ = false;               // guarded by mu_; a write is in flight
+  bool stop_ = false;               // guarded by mu_
+  std::exception_ptr error_;        // guarded by mu_; first write failure
+  std::thread worker_;
+};
+
+}  // namespace fed

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "support/csv.h"
@@ -33,7 +35,27 @@ void atomic_max(std::atomic<double>& target, double v) {
   }
 }
 
+MetricLabels canonical(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
 }  // namespace
+
+std::string metric_selector(const std::string& name,
+                            const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  std::ostringstream out;
+  out << name << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << "=\"" << v << '"';
+  }
+  out << '}';
+  return out.str();
+}
 
 Histogram::Histogram(double scale, std::size_t num_buckets)
     : scale_(scale > 0.0 ? scale : 1e-6),
@@ -49,6 +71,9 @@ void Histogram::observe(double v) {
     idx = std::min<std::size_t>(static_cast<std::size_t>(std::max(exp, 0)),
                                 num_buckets_ - 1);
   }
+  // Bucket before everything else: snapshot() recounts from the buckets,
+  // so an observation becomes visible (count + bucket together) at this
+  // fetch_add, and sum/min/max catch up within this call.
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, v);
@@ -64,14 +89,17 @@ void Histogram::observe(double v) {
 
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot s;
-  s.count = count_.load(std::memory_order_relaxed);
+  s.buckets.resize(num_buckets_);
+  // One pass over the buckets defines the snapshot's count — never the
+  // separately-raced count_ — so count == sum(buckets) holds by
+  // construction even mid-observe.
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
   s.sum = sum_.load(std::memory_order_relaxed);
   s.min = s.count ? min_.load(std::memory_order_relaxed) : 0.0;
   s.max = s.count ? max_.load(std::memory_order_relaxed) : 0.0;
-  s.buckets.resize(num_buckets_);
-  for (std::size_t i = 0; i < num_buckets_; ++i) {
-    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
-  }
   return s;
 }
 
@@ -85,44 +113,127 @@ void Histogram::reset() {
   max_.store(0.0, std::memory_order_relaxed);
 }
 
+double Histogram::bucket_upper_edge(std::size_t i) const {
+  if (i + 1 >= num_buckets_) return std::numeric_limits<double>::infinity();
+  return scale_ * std::ldexp(1.0, static_cast<int>(i) + 1);
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
+  return counter(name, {});
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  MetricLabels labels) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[name][canonical(std::move(labels))];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauge(name, {});
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[name][canonical(std::move(labels))];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double scale,
                                       std::size_t num_buckets) {
+  return histogram(name, {}, scale, num_buckets);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      MetricLabels labels, double scale,
+                                      std::size_t num_buckets) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[name][canonical(std::move(labels))];
   if (!slot) slot = std::make_unique<Histogram>(scale, num_buckets);
   return *slot;
 }
 
-JsonValue MetricsRegistry::to_json() const {
+void MetricsRegistry::set_help(const std::string& name, std::string help) {
   std::lock_guard<std::mutex> lock(mutex_);
+  help_[name] = std::move(help);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, family] : counters_) {
+    auto& samples = out.counters[name];
+    for (const auto& [labels, c] : family) {
+      samples.push_back({labels, c->value()});
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    auto& samples = out.gauges[name];
+    for (const auto& [labels, g] : family) {
+      samples.push_back({labels, g->value()});
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    auto& samples = out.histograms[name];
+    for (const auto& [labels, h] : family) {
+      MetricsSnapshot::HistogramSample sample;
+      sample.labels = labels;
+      sample.scale = h->scale();
+      sample.upper_edges.resize(h->num_buckets());
+      for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+        sample.upper_edges[i] = h->bucket_upper_edge(i);
+      }
+      sample.snapshot = h->snapshot();
+      samples.push_back(std::move(sample));
+    }
+  }
+  out.help = help_;
+  return out;
+}
+
+JsonValue MetricsRegistry::to_json(bool include_buckets) const {
+  const MetricsSnapshot snap = snapshot();
   JsonObject counters;
-  for (const auto& [name, c] : counters_) counters[name] = c->value();
+  for (const auto& [name, samples] : snap.counters) {
+    for (const auto& s : samples) {
+      counters[metric_selector(name, s.labels)] = s.value;
+    }
+  }
   JsonObject gauges;
-  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  for (const auto& [name, samples] : snap.gauges) {
+    for (const auto& s : samples) {
+      gauges[metric_selector(name, s.labels)] = s.value;
+    }
+  }
   JsonObject histograms;
-  for (const auto& [name, h] : histograms_) {
-    const auto s = h->snapshot();
-    JsonObject one;
-    one["count"] = s.count;
-    one["sum"] = s.sum;
-    one["min"] = s.min;
-    one["max"] = s.max;
-    one["mean"] = s.mean();
-    histograms[name] = std::move(one);
+  for (const auto& [name, samples] : snap.histograms) {
+    for (const auto& s : samples) {
+      JsonObject one;
+      one["count"] = s.snapshot.count;
+      one["sum"] = s.snapshot.sum;
+      one["min"] = s.snapshot.min;
+      one["max"] = s.snapshot.max;
+      one["mean"] = s.snapshot.mean();
+      if (include_buckets) {
+        JsonArray les;
+        JsonArray counts;
+        for (std::size_t i = 0; i < s.snapshot.buckets.size(); ++i) {
+          // JSON has no Infinity literal; the +Inf edge serializes as the
+          // Prometheus spelling.
+          if (std::isinf(s.upper_edges[i])) {
+            les.push_back(std::string("+Inf"));
+          } else {
+            les.push_back(s.upper_edges[i]);
+          }
+          counts.push_back(s.snapshot.buckets[i]);
+        }
+        one["le"] = std::move(les);
+        one["buckets"] = std::move(counts);
+      }
+      histograms[metric_selector(name, s.labels)] = std::move(one);
+    }
   }
   JsonObject out;
   out["counters"] = std::move(counters);
@@ -132,33 +243,39 @@ JsonValue MetricsRegistry::to_json() const {
 }
 
 std::string MetricsRegistry::render() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MetricsSnapshot snap = snapshot();
   TablePrinter table({"metric", "kind", "value"});
-  for (const auto& [name, c] : counters_) {
-    table.add_row({name, "counter", std::to_string(c->value())});
+  for (const auto& [name, samples] : snap.counters) {
+    for (const auto& s : samples) {
+      table.add_row({metric_selector(name, s.labels), "counter",
+                     std::to_string(s.value)});
+    }
   }
-  for (const auto& [name, g] : gauges_) {
-    table.add_row({name, "gauge", TablePrinter::fmt(g->value(), 6)});
+  for (const auto& [name, samples] : snap.gauges) {
+    for (const auto& s : samples) {
+      table.add_row({metric_selector(name, s.labels), "gauge",
+                     TablePrinter::fmt(s.value, 6)});
+    }
   }
-  for (const auto& [name, h] : histograms_) {
-    const auto s = h->snapshot();
-    std::ostringstream cell;
-    cell << "count " << s.count << ", mean " << TablePrinter::fmt(s.mean(), 6)
-         << ", min " << TablePrinter::fmt(s.min, 6) << ", max "
-         << TablePrinter::fmt(s.max, 6);
-    table.add_row({name, "histogram", cell.str()});
+  for (const auto& [name, samples] : snap.histograms) {
+    for (const auto& s : samples) {
+      std::ostringstream cell;
+      cell << "count " << s.snapshot.count << ", mean "
+           << TablePrinter::fmt(s.snapshot.mean(), 6) << ", min "
+           << TablePrinter::fmt(s.snapshot.min, 6) << ", max "
+           << TablePrinter::fmt(s.snapshot.max, 6);
+      table.add_row({metric_selector(name, s.labels), "histogram", cell.str()});
+    }
   }
   return table.render();
 }
 
 MetricsObserver::MetricsObserver(MetricsRegistry& registry)
-    : registry_(registry),
-      rounds_(registry.counter("fed_rounds_total")),
+    : rounds_(registry.counter("fed_rounds_total")),
       clients_(registry.counter("fed_clients_total")),
       stragglers_(registry.counter("fed_stragglers_total")),
       bytes_up_(registry.counter("fed_comm_bytes_up_total")),
       bytes_down_(registry.counter("fed_comm_bytes_down_total")),
-      faults_(registry.counter("fed_comm_faults_total")),
       retries_(registry.counter("fed_comm_retries_total")),
       degraded_rounds_(registry.counter("fed_comm_rounds_degraded_total")),
       shard_merges_(registry.counter("fed_shard_merges_total")),
@@ -167,16 +284,44 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry)
       train_loss_(registry.gauge("fed_train_loss")),
       round_(registry.gauge("fed_round")),
       round_seconds_(registry.histogram("fed_round_seconds")),
-      solve_seconds_(registry.histogram("fed_client_solve_seconds")) {}
+      solve_seconds_(registry.histogram("fed_client_solve_seconds")) {
+  // Pre-register every fault kind so on_fault is a lock-free add and the
+  // exposition shows explicit zeros for kinds that never fired.
+  for (std::size_t k = 0; k < kFaultKinds; ++k) {
+    const auto kind = static_cast<FaultEvent::Kind>(k);
+    faults_by_kind_[k] =
+        &registry.counter("fed_comm_faults_total", {{"kind", to_string(kind)}});
+  }
+  registry.set_help("fed_rounds_total", "Completed federated rounds.");
+  registry.set_help("fed_clients_total",
+                    "Client updates accepted into aggregation.");
+  registry.set_help("fed_stragglers_total",
+                    "Accepted updates that ran fewer than the full epochs.");
+  registry.set_help("fed_comm_bytes_up_total",
+                    "Exact wire bytes delivered device -> server.");
+  registry.set_help("fed_comm_bytes_down_total",
+                    "Exact wire bytes sent server -> device.");
+  registry.set_help("fed_comm_faults_total",
+                    "Channel incidents observed by the server, by kind.");
+  registry.set_help("fed_comm_retries_total",
+                    "Exchange attempts beyond each device's first.");
+  registry.set_help("fed_comm_rounds_degraded_total",
+                    "Rounds that aggregated zero updates and kept w.");
+  registry.set_help("fed_shard_merges_total",
+                    "Shard partials merged at the aggregation root.");
+  registry.set_help("fed_shard_partial_bytes_total",
+                    "FPS1 wire bytes moved shard -> root.");
+  registry.set_help("fed_mu", "Active FedProx proximal coefficient.");
+  registry.set_help("fed_train_loss", "Last evaluated global training loss.");
+  registry.set_help("fed_round", "Most recently completed round index.");
+  registry.set_help("fed_round_seconds", "Wall seconds per federated round.");
+  registry.set_help("fed_client_solve_seconds",
+                    "Wall seconds per client local solve.");
+}
 
 void MetricsObserver::on_fault(const FaultEvent& event) {
-  faults_.add();
-  // Per-kind lookup takes the registry mutex, but on_fault runs on the
-  // round thread only and faults are the exception, not the steady state.
-  registry_
-      .counter(std::string("fed_comm_faults_") + to_string(event.kind) +
-               "_total")
-      .add();
+  const auto k = static_cast<std::size_t>(event.kind);
+  if (k < kFaultKinds) faults_by_kind_[k]->add();
 }
 
 void MetricsObserver::on_client_result(std::size_t round,
@@ -205,15 +350,22 @@ void MetricsObserver::on_round_end(const RoundMetrics& metrics,
 }
 
 void record_pool_stats(const ThreadPool& pool, MetricsRegistry& registry) {
+  registry.set_help("fed_pool_worker_tasks",
+                    "Tasks executed per pool worker.");
+  registry.set_help("fed_pool_worker_busy_seconds",
+                    "Seconds each pool worker spent running tasks.");
+  registry.set_help("fed_pool_worker_queue_wait_seconds",
+                    "Seconds each worker's tasks waited in queue.");
   const auto stats = pool.worker_stats();
   double busy_total = 0.0;
   double wait_total = 0.0;
   for (std::size_t i = 0; i < stats.size(); ++i) {
-    const std::string prefix = "fed_pool_worker_" + std::to_string(i);
-    registry.gauge(prefix + "_tasks")
+    const MetricLabels labels{{"worker", std::to_string(i)}};
+    registry.gauge("fed_pool_worker_tasks", labels)
         .set(static_cast<double>(stats[i].tasks_executed));
-    registry.gauge(prefix + "_busy_seconds").set(stats[i].busy_seconds);
-    registry.gauge(prefix + "_queue_wait_seconds")
+    registry.gauge("fed_pool_worker_busy_seconds", labels)
+        .set(stats[i].busy_seconds);
+    registry.gauge("fed_pool_worker_queue_wait_seconds", labels)
         .set(stats[i].queue_wait_seconds);
     busy_total += stats[i].busy_seconds;
     wait_total += stats[i].queue_wait_seconds;

@@ -1,29 +1,45 @@
 // Lock-cheap metrics registry: named counters, gauges, and histograms
 // that can be bumped concurrently from ThreadPool workers. The registry
-// mutex guards only name -> instrument lookup (registration); every hot
-// update is a relaxed atomic on a stable instrument address, so cache a
-// reference once and write freely from any thread:
+// mutex guards only (name, labels) -> instrument lookup (registration);
+// every hot update is a relaxed atomic on a stable instrument address,
+// so cache a reference once and write freely from any thread:
 //
 //   Counter& solves = registry.counter("fed_client_solves_total");
+//   Counter& drops = registry.counter("fed_comm_faults_total",
+//                                     {{"kind", "drop"}});
 //   pool->parallel_for(n, [&](std::size_t i) { ...; solves.add(); });
+//
+// Instruments with the same name form a *family* distinguished by label
+// sets (the Prometheus data model); obs/exposition.h renders a registry
+// as Prometheus text format 0.0.4 for external scrapers.
 //
 // MetricsObserver feeds the registry from the Trainer's observer hooks
 // (rounds, client solves, stragglers, bytes moved, phase durations).
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "comm/fault.h"
 #include "obs/observer.h"
 #include "support/json.h"
 
 namespace fed {
+
+// One instrument's label set: (key, value) pairs. The registry sorts
+// them by key on first lookup, so {{"b","2"},{"a","1"}} and
+// {{"a","1"},{"b","2"}} name the same instrument. Keys must be unique
+// within a set and valid Prometheus label names ([a-zA-Z_][a-zA-Z0-9_]*);
+// values may contain anything — the exposition writer escapes them.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 // Monotonic event count.
 class Counter {
@@ -48,10 +64,21 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-// Exponentially-bucketed distribution: bucket i covers
-// [scale * 2^i, scale * 2^(i+1)); under/overflows clamp to the edge
-// buckets. Sum/min/max are maintained with CAS loops so observe() stays
-// lock-free on every platform.
+// Exponentially-bucketed distribution: bucket 0 covers everything up to
+// 2 * scale, bucket i >= 1 covers [scale * 2^i, scale * 2^(i+1)), and
+// the last bucket absorbs every overflow. Sum/min/max are maintained
+// with CAS loops so observe() stays lock-free on every platform.
+//
+// Ordering contract (everything is memory_order_relaxed): observe()
+// bumps the bucket *first*, then count/sum/min/max, and snapshot()
+// derives its count from a single pass over the buckets — so a snapshot
+// always satisfies count == sum(buckets) and per-bucket counts are
+// monotone across snapshots, even while other threads observe. The sum/
+// min/max fields are updated by separate atomics and may trail or lead
+// the bucket pass by in-flight observations; they converge once writers
+// quiesce. reset() is NOT linearizable against concurrent observe() —
+// racing the two can strand an observation in sum but not the buckets
+// (or vice versa) — so reset only at quiescent points, never mid-round.
 class Histogram {
  public:
   explicit Histogram(double scale = 1e-6, std::size_t num_buckets = 32);
@@ -59,7 +86,7 @@ class Histogram {
   void observe(double v);
 
   struct Snapshot {
-    std::uint64_t count = 0;
+    std::uint64_t count = 0;  // always equals the sum of `buckets`
     double sum = 0.0;
     double min = 0.0;  // 0 when count == 0
     double max = 0.0;
@@ -74,46 +101,101 @@ class Histogram {
 
   double scale() const { return scale_; }
   std::size_t num_buckets() const { return num_buckets_; }
+  // Inclusive upper edge of bucket `i` (the Prometheus `le` bound):
+  // scale * 2^(i+1). The last bucket's edge is +infinity. Values landing
+  // exactly on an edge are counted in the *next* bucket — a one-ulp
+  // boundary skew the exposition accepts in exchange for lock-free
+  // observes.
+  double bucket_upper_edge(std::size_t i) const;
 
  private:
   double scale_;
   std::size_t num_buckets_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
-  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> count_{0};  // min/max seeding only; snapshots
+                                         // recount from the buckets
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
 };
 
+// A point-in-time copy of every instrument, grouped by family name with
+// one sample per label set (label sets sorted, families sorted by name).
+// This is what to_json/render and the exposition writer consume, so all
+// three agree on one consistent read of the registry.
+struct MetricsSnapshot {
+  struct CounterSample {
+    MetricLabels labels;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    MetricLabels labels;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    MetricLabels labels;
+    double scale = 0.0;
+    std::vector<double> upper_edges;  // per bucket; last is +inf
+    Histogram::Snapshot snapshot;
+  };
+  std::map<std::string, std::vector<CounterSample>> counters;
+  std::map<std::string, std::vector<GaugeSample>> gauges;
+  std::map<std::string, std::vector<HistogramSample>> histograms;
+  std::map<std::string, std::string> help;  // family name -> HELP text
+};
+
 class MetricsRegistry {
  public:
-  // Find-or-create by name. Returned references are stable for the
-  // registry's lifetime; only this lookup takes the mutex.
+  // Find-or-create by (name, labels). Returned references are stable for
+  // the registry's lifetime; only this lookup takes the mutex. The
+  // labels overloads address one member of a labeled family; the
+  // label-free overloads are the family's single unlabeled member.
   Counter& counter(const std::string& name);
+  Counter& counter(const std::string& name, MetricLabels labels);
   Gauge& gauge(const std::string& name);
+  Gauge& gauge(const std::string& name, MetricLabels labels);
   Histogram& histogram(const std::string& name, double scale = 1e-6,
                        std::size_t num_buckets = 32);
+  Histogram& histogram(const std::string& name, MetricLabels labels,
+                       double scale = 1e-6, std::size_t num_buckets = 32);
+  // Members of one histogram family should share scale/num_buckets; the
+  // shape arguments only apply when the instrument is first created.
+
+  // HELP text for a family, rendered by the exposition writer. Idempotent.
+  void set_help(const std::string& name, std::string help);
+
+  MetricsSnapshot snapshot() const;
 
   // Snapshot of every instrument: {"counters":{...},"gauges":{...},
-  // "histograms":{name:{count,sum,min,max,mean}}}. Bucket arrays are
-  // omitted to keep the dump compact.
-  JsonValue to_json() const;
+  // "histograms":{name:{count,sum,min,max,mean}}}. Labeled instruments
+  // key as name{k="v",...}. With include_buckets, each histogram also
+  // carries its "buckets" counts and "le" upper edges (off by default to
+  // keep the dump compact).
+  JsonValue to_json(bool include_buckets = false) const;
   // Aligned one-line-per-instrument table for stdout.
   std::string render() const;
 
  private:
+  template <typename T>
+  using Family = std::map<MetricLabels, std::unique_ptr<T>>;
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Family<Counter>> counters_;
+  std::map<std::string, Family<Gauge>> gauges_;
+  std::map<std::string, Family<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
+
+// name{k="v",...} selector form for tables/JSON keys ("" labels -> name).
+std::string metric_selector(const std::string& name,
+                            const MetricLabels& labels);
 
 // Feeds a MetricsRegistry from the observer hooks. Instrument names:
 //   counters   fed_rounds_total, fed_clients_total, fed_stragglers_total,
 //              fed_comm_bytes_up_total, fed_comm_bytes_down_total,
-//              fed_comm_faults_total (+ fed_comm_faults_<kind>_total per
-//              FaultEvent kind seen), fed_comm_retries_total,
-//              fed_comm_rounds_degraded_total,
+//              fed_comm_faults_total{kind=...} (one member per
+//              FaultEvent kind, pre-registered so scrapers see zeros),
+//              fed_comm_retries_total, fed_comm_rounds_degraded_total,
 //              fed_shard_merges_total (root merges of shard partials),
 //              fed_shard_partial_bytes_total (FPS1 shard -> root bytes)
 //   gauges     fed_mu, fed_train_loss (last evaluated), fed_round
@@ -128,17 +210,19 @@ class MetricsObserver final : public TrainingObserver {
                     const RoundTrace& trace) override;
 
  private:
-  MetricsRegistry& registry_;  // per-kind fault counters, created on demand
+  static constexpr std::size_t kFaultKinds =
+      static_cast<std::size_t>(FaultEvent::Kind::kRoundDegraded) + 1;
+
   Counter& rounds_;
   Counter& clients_;
   Counter& stragglers_;
   Counter& bytes_up_;
   Counter& bytes_down_;
-  Counter& faults_;
   Counter& retries_;
   Counter& degraded_rounds_;
   Counter& shard_merges_;
   Counter& shard_partial_bytes_;
+  std::array<Counter*, kFaultKinds> faults_by_kind_;  // indexed by Kind
   Gauge& mu_;
   Gauge& train_loss_;
   Gauge& round_;
@@ -147,7 +231,8 @@ class MetricsObserver final : public TrainingObserver {
 };
 
 // Snapshots a pool's per-worker counters into utilization gauges:
-//   fed_pool_worker_<i>_tasks / _busy_seconds / _queue_wait_seconds
+//   fed_pool_worker_tasks{worker="i"} / fed_pool_worker_busy_seconds{...}
+//   / fed_pool_worker_queue_wait_seconds{...}
 // plus fed_pool_busy_seconds and fed_pool_queue_wait_seconds totals.
 // Busy/wait accumulate only while the span profiler is enabled
 // (support/threadpool.h); call after the instrumented run.

@@ -45,6 +45,8 @@ struct ProfileEvent {
     kComplete,    // Chrome "X": a span with start + duration; must nest
     kAsyncBegin,  // Chrome "b": interval that may overlap others (queue
     kAsyncEnd,    //        "e"   waits); paired by `id`
+    kFlowStart,   // Chrome "s": an arrow leaves the enclosing span here
+    kFlowEnd,     // Chrome "f": ... and lands here; paired by `id`
   };
 
   const char* name = nullptr;
@@ -184,6 +186,47 @@ class Span {
   ProfileEvent event_;
   bool active_ = false;
 };
+
+// Flow events: a directed arrow between two spans, possibly on different
+// threads (or, once a trace_id rides the wire, different processes).
+// Both ends must use the same `name`/`category` literals and the same
+// `id` — derive it with derive_trace_span (obs/trace_context.h) so both
+// sides agree without sharing state. Each end is an instant bound to the
+// span enclosing it at that timestamp; record flow events only inside an
+// open Span. Cost when disabled: one relaxed load, like Span.
+inline void profile_flow(const char* name, const char* category,
+                         std::uint64_t id, ProfileEvent::Type type,
+                         const char* arg_name = nullptr,
+                         std::int64_t arg_value = 0) {
+  if (!Profiler::is_enabled()) return;
+  Profiler& profiler = Profiler::instance();
+  ProfileEvent event;
+  event.name = name;
+  event.category = category;
+  event.type = type;
+  event.id = id;
+  event.start_us = profiler.now_us();
+  if (arg_name) {
+    event.arg_names[0] = arg_name;
+    event.arg_values[0] = arg_value;
+    event.num_args = 1;
+  }
+  profiler.record(event);
+}
+
+inline void flow_start(const char* name, const char* category,
+                       std::uint64_t id, const char* arg_name = nullptr,
+                       std::int64_t arg_value = 0) {
+  profile_flow(name, category, id, ProfileEvent::Type::kFlowStart, arg_name,
+               arg_value);
+}
+
+inline void flow_end(const char* name, const char* category, std::uint64_t id,
+                     const char* arg_name = nullptr,
+                     std::int64_t arg_value = 0) {
+  profile_flow(name, category, id, ProfileEvent::Type::kFlowEnd, arg_name,
+               arg_value);
+}
 
 // True when this build compiled the per-kernel spans in (CMake option
 // FEDPROX_PROFILE_KERNELS). Lets benches record which mode they measured.

@@ -1,8 +1,10 @@
 #include "obs/trace_sink.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <iostream>
 #include <stdexcept>
+#include <utility>
 
 #include "support/csv.h"
 
@@ -29,8 +31,9 @@ JsonObject run_info_json(const RunInfo& info) {
 
 }  // namespace
 
-JsonlTraceSink::JsonlTraceSink(const std::string& path)
-    : path_(path), out_(nullptr) {
+JsonlTraceSink::JsonlTraceSink(const std::string& path,
+                               RotationPolicy rotation)
+    : path_(path), out_(nullptr), rotation_(rotation) {
   const auto slash = path.find_last_of('/');
   if (slash != std::string::npos) {
     ensure_directory(path.substr(0, slash));
@@ -44,10 +47,48 @@ JsonlTraceSink::JsonlTraceSink(const std::string& path)
 
 JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
 
+void JsonlTraceSink::emit(const std::string& line) {
+  // Roll over before the line that would cross the byte budget, never
+  // mid-line — but only once the active generation holds at least one
+  // round line, so a budget smaller than header+line degrades to one
+  // line per generation instead of rotating forever.
+  if (&file_ == out_ && rotation_.max_bytes > 0 && round_lines_ > 0 &&
+      bytes_written_ + line.size() + 1 > rotation_.max_bytes) {
+    rotate();
+  }
+  *out_ << line << '\n';
+  bytes_written_ += line.size() + 1;
+}
+
+void JsonlTraceSink::rotate() {
+  file_.close();
+  namespace fs = std::filesystem;
+  std::error_code ec;  // rotation never throws; a failed shift is dropped
+  fs::remove(path_ + "." + std::to_string(rotation_.max_generations), ec);
+  for (std::size_t g = rotation_.max_generations; g > 1; --g) {
+    fs::rename(path_ + "." + std::to_string(g - 1),
+               path_ + "." + std::to_string(g), ec);
+  }
+  fs::rename(path_, path_ + ".1", ec);
+  file_.open(path_, std::ios::trunc);
+  if (!file_) {
+    throw std::runtime_error("JsonlTraceSink: cannot reopen " + path_);
+  }
+  ++rotations_;
+  bytes_written_ = 0;
+  round_lines_ = 0;
+  // Every generation starts with the run header so it lints standalone.
+  if (!header_line_.empty()) {
+    file_ << header_line_ << '\n';
+    bytes_written_ = header_line_.size() + 1;
+  }
+}
+
 void JsonlTraceSink::begin_run(const RunInfo& info) {
   JsonObject line;
   line["run"] = run_info_json(info);
-  *out_ << serialize_json(JsonValue(std::move(line))) << '\n';
+  header_line_ = serialize_json(JsonValue(std::move(line)));
+  emit(header_line_);
 }
 
 void JsonlTraceSink::write(const RoundMetrics& metrics,
@@ -62,7 +103,8 @@ void JsonlTraceSink::write(const RoundMetrics& metrics,
   m["dissimilarity_b"] = opt_json(metrics.dissimilarity_b);
   m["mean_gamma"] = opt_json(metrics.mean_gamma);
   value.as_object()["metrics"] = std::move(m);
-  *out_ << serialize_json(value) << '\n';
+  emit(serialize_json(value));
+  ++round_lines_;
 }
 
 void JsonlTraceSink::end_run(const TrainHistory& history) {

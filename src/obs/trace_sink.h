@@ -28,6 +28,19 @@ class TraceSink {
   virtual void end_run(const TrainHistory& history) { (void)history; }
 };
 
+// Size-bounded log rotation for JsonlTraceSink (--trace-rotate-mb).
+// When the active file would grow past `max_bytes`, it is renamed to
+// `<path>.1` (older generations shifting to `.2`, `.3`, ... with the
+// oldest beyond `max_generations` deleted) and a fresh file opens at
+// `path`. Rotation happens only at line boundaries and every new
+// generation re-writes the run-header line first, so each generation is
+// a self-contained JSONL trace that passes `trace_lint --jsonl` on its
+// own. `max_bytes == 0` (the default) disables rotation.
+struct RotationPolicy {
+  std::size_t max_bytes = 0;
+  std::size_t max_generations = 3;  // rotated files kept besides `path`
+};
+
 // One JSON object per line (JSONL). Each run starts with a header line
 // {"run":{...}}; every round then gets {"round":...,"phases":{...},
 // "metrics":{...}}. Reuses support/json serialization; numbers
@@ -35,8 +48,10 @@ class TraceSink {
 class JsonlTraceSink final : public TraceSink {
  public:
   // Creates parent directories and truncates `path`.
-  explicit JsonlTraceSink(const std::string& path);
-  // Streams to an externally-owned ostream (tests, stdout piping).
+  explicit JsonlTraceSink(const std::string& path,
+                          RotationPolicy rotation = {});
+  // Streams to an externally-owned ostream (tests, stdout piping);
+  // rotation does not apply.
   explicit JsonlTraceSink(std::ostream& out);
 
   void begin_run(const RunInfo& info) override;
@@ -44,11 +59,21 @@ class JsonlTraceSink final : public TraceSink {
   void end_run(const TrainHistory& history) override;
 
   const std::string& path() const { return path_; }
+  // Number of times the sink rolled the active file over.
+  std::size_t rotations() const { return rotations_; }
 
  private:
+  void emit(const std::string& line);
+  void rotate();
+
   std::string path_;
   std::ofstream file_;
   std::ostream* out_;
+  RotationPolicy rotation_;
+  std::string header_line_;        // replayed at the top of each generation
+  std::size_t bytes_written_ = 0;  // in the active generation
+  std::size_t round_lines_ = 0;    // in the active generation
+  std::size_t rotations_ = 0;
 };
 
 // Accumulates every round's trace and prints a per-phase wall-clock

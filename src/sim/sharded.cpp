@@ -44,8 +44,14 @@ std::size_t ShardedServer::total_contributors() const {
   return total;
 }
 
-bool ShardedServer::reduce(std::size_t round, std::span<double> w) {
-  PartialAggregate root(partials_.front().scheme(), partials_.front().dim());
+bool ShardedServer::reduce(std::size_t round, std::span<double> w,
+                           const TraceContext& trace) {
+  // Two phases, mirroring the eventual multi-process layout: each shard
+  // encodes its partial (shard-side work), then the root decodes and
+  // merges them all (root-side work). A flow arrow per shard links its
+  // uplink to the root merge.
+  std::vector<WireBuffer> wires;
+  wires.reserve(partials_.size());
   for (std::size_t s = 0; s < partials_.size(); ++s) {
     Span span("shard_reduce", "phase", "round",
               static_cast<std::int64_t>(round), "shard",
@@ -54,10 +60,27 @@ bool ShardedServer::reduce(std::size_t round, std::span<double> w) {
     // The uplink always round-trips the wire format, even with one
     // shard: partial_bytes_ is then real traffic, and a codec regression
     // cannot hide behind an in-process shortcut.
-    const WireBuffer wire = encode_partial_sum(
-        {.round = round, .shard = s, .partial = std::move(partials_[s])});
-    partial_bytes_[s] = wire.size();
-    root.merge(std::move(decode_partial_sum(wire).partial));
+    PartialSumUpdate message{.round = round,
+                             .trace = trace,
+                             .shard = s,
+                             .partial = std::move(partials_[s])};
+    message.trace.span_id =
+        derive_trace_span(trace.trace_id, TraceSpanKind::kShardPartial, s);
+    wires.push_back(encode_partial_sum(message));
+    partial_bytes_[s] = wires.back().size();
+    flow_start("partial_flow", "flow", message.trace.span_id, "shard",
+               static_cast<std::int64_t>(s));
+  }
+  Span merge_span("root_merge", "phase", "round",
+                  static_cast<std::int64_t>(round), "shards",
+                  static_cast<std::int64_t>(wires.size()), "trace_id",
+                  static_cast<std::int64_t>(trace.trace_id));
+  PartialAggregate root(partials_.front().scheme(), partials_.front().dim());
+  for (std::size_t s = 0; s < wires.size(); ++s) {
+    PartialSumUpdate received = decode_partial_sum(wires[s]);
+    flow_end("partial_flow", "flow", received.trace.span_id, "shard",
+             static_cast<std::int64_t>(s));
+    root.merge(std::move(received.partial));
   }
   return root.finalize(w);
 }

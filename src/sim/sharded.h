@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "sim/aggregate.h"
 
 namespace fed {
@@ -60,7 +61,13 @@ class ShardedServer {
   // round), merges exactly, and finalizes the weighted average into `w`.
   // Returns false, leaving `w` untouched, when no shard accumulated any
   // contribution. Call once, after all accumulate() calls.
-  bool reduce(std::size_t round, std::span<double> w);
+  //
+  // `trace` is the round's context (obs/trace_context.h): each FPS1
+  // partial is stamped with its derived shard span, and when profiling
+  // is enabled the shard_reduce -> root_merge handoffs are drawn as
+  // Chrome flow arrows. A default (zero) context means untraced.
+  bool reduce(std::size_t round, std::span<double> w,
+              const TraceContext& trace = {});
 
   std::size_t shard_count() const { return partials_.size(); }
   std::size_t contributors(std::size_t shard) const {

@@ -238,8 +238,12 @@ TEST_F(CommFaultTest, ChaosSoakConvergesWithoutFatalIncidents) {
   }
 
   // Registry counters went where the ISSUE says they go.
-  EXPECT_GT(registry.counter("fed_comm_faults_total").value(), 0u);
-  EXPECT_EQ(registry.counter("fed_comm_faults_drop_total").value(), drops);
+  EXPECT_EQ(
+      registry.counter("fed_comm_faults_total", {{"kind", "drop"}}).value(),
+      drops);
+  EXPECT_EQ(
+      registry.counter("fed_comm_faults_total", {{"kind", "corrupt"}}).value(),
+      corruptions);
   EXPECT_EQ(registry.counter("fed_comm_retries_total").value(), retries);
 
   // Bit-reproducible: an identical config replays the identical run.

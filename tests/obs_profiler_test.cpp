@@ -244,10 +244,13 @@ TEST_F(ProfilerTest, RecordPoolStatsExposesWorkerGauges) {
   record_pool_stats(pool, registry);
   double tasks = 0.0;
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    const std::string prefix = "fed_pool_worker_" + std::to_string(i);
-    tasks += registry.gauge(prefix + "_tasks").value();
-    EXPECT_GE(registry.gauge(prefix + "_busy_seconds").value(), 0.0);
-    EXPECT_GE(registry.gauge(prefix + "_queue_wait_seconds").value(), 0.0);
+    const MetricLabels worker{{"worker", std::to_string(i)}};
+    tasks += registry.gauge("fed_pool_worker_tasks", worker).value();
+    EXPECT_GE(registry.gauge("fed_pool_worker_busy_seconds", worker).value(),
+              0.0);
+    EXPECT_GE(
+        registry.gauge("fed_pool_worker_queue_wait_seconds", worker).value(),
+        0.0);
   }
   EXPECT_GE(tasks, 8.0);
   EXPECT_GE(registry.gauge("fed_pool_busy_seconds").value(), 0.0);

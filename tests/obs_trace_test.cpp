@@ -250,5 +250,55 @@ TEST_F(TraceTest, JsonlFileSinkCreatesParentDirectories) {
   std::filesystem::remove_all(dir);
 }
 
+TEST_F(TraceTest, JsonlSinkRotatesWithBoundedGenerations) {
+  const std::string dir = ::testing::TempDir() + "fedprox_obs_rotate";
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/trace.jsonl";
+  RotationPolicy policy;
+  policy.max_bytes = 4096;
+  policy.max_generations = 2;
+  {
+    JsonlTraceSink sink(path, policy);
+    RunInfo info;
+    info.algorithm = "FedProx";
+    sink.begin_run(info);
+    RoundMetrics m;
+    RoundTrace t;
+    for (std::size_t r = 0; r < 100; ++r) {
+      t.round = r;
+      sink.write(m, t);
+    }
+    sink.end_run(TrainHistory{});
+    EXPECT_GE(sink.rotations(), 2u);  // enough data to cycle generations
+  }
+  // Bounded: the active file plus at most max_generations rotated ones.
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".1"));
+  EXPECT_TRUE(std::filesystem::exists(path + ".2"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".3"));
+  // Every generation is a self-contained trace: the run header line
+  // first (re-written at each rotation), then round lines, within the
+  // byte budget.
+  for (const std::string& p : {path, path + ".1", path + ".2"}) {
+    EXPECT_LE(std::filesystem::file_size(p), policy.max_bytes);
+    std::ifstream in(p);
+    ASSERT_TRUE(in.good()) << p;
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const JsonValue v = parse_json(line);
+      if (lines == 0) {
+        EXPECT_TRUE(v.contains("run")) << p << " does not start with a header";
+      } else {
+        EXPECT_TRUE(v.contains("round"));
+      }
+      ++lines;
+    }
+    EXPECT_GE(lines, 2u) << p;
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace fed

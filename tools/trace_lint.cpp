@@ -1,7 +1,10 @@
-// Validates the two observability artifacts a run can produce:
+// Validates the observability artifacts a run can produce:
 //
 //   trace_lint --jsonl run.jsonl         # JSONL round trace (obs/trace_sink)
 //   trace_lint --chrome run.trace.json   # Chrome trace-event span profile
+//   trace_lint --metrics metrics.prom    # Prometheus exposition (obs/
+//                                        # exposition); cross-checked
+//                                        # against --jsonl when both given
 //
 // JSONL checks: every line parses as a JSON object, the first line is the
 // run header ({"run":{...}}), every later line carries a "round", and the
@@ -16,14 +19,24 @@
 // ships a non-empty FPS1 partial to the root.
 // Chrome checks: the document parses, traceEvents is non-empty, "X"
 // events nest properly per thread (a stack check over ts/dur), async
-// "b"/"e" pairs match up by id, the run/round/exchange spans are
+// "b"/"e" pairs match up by id, flow "s"/"f" pairs balance per id with
+// the start never after the finish (the round -> exchange -> shard ->
+// merge arrows of obs/trace_context.h), the run/round/exchange spans are
 // present, and at least one thread is named "pool-<i>".
+// Metrics checks: every line is a valid 0.0.4 HELP/TYPE/sample line,
+// sample families are typed before use, histogram `_bucket` series are
+// cumulative and end in an `le="+Inf"` bucket equal to `_count`. With
+// --jsonl in the same invocation, the registry counters must reconcile
+// with the summed per-round trace blocks: fed_comm_bytes_{up,down}_total,
+// fed_shard_partial_bytes_total, and every fed_comm_faults_total{kind=...}
+// member against its trace fault column.
 //
 // Exits non-zero with a message on the first failed check; used by the
 // quickstart observability smoke test (examples/CMakeLists.txt).
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -52,6 +65,18 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+// Whole-run sums over the JSONL round lines, for reconciling against the
+// cumulative registry counters in a --metrics exposition file.
+struct JsonlTotals {
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t partial_bytes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t degraded_rounds = 0;
+  // Keyed by the FaultEvent kind slug used in the metrics `kind` label.
+  std::map<std::string, std::uint64_t> faults;
+};
+
 // Transport byte and fault accounting on one JSONL round line. Both
 // bundled transports report exact wire bytes, and the fault layer
 // charges them per attempt/delivery, so the counts obey hard
@@ -60,7 +85,7 @@ std::string read_file(const std::string& path) {
 // delivery moves the same update bytes, retries reconcile with the
 // failed-attempt counts, and a degraded round aggregated nothing.
 void check_round_line(const std::string& path, std::size_t lineno,
-                      const JsonValue& value) {
+                      const JsonValue& value, JsonlTotals& totals) {
   const std::string where = path + ":" + std::to_string(lineno);
   for (const char* key : {"bytes_down", "bytes_up", "selected", "contributors",
                           "faults", "degraded", "shards"}) {
@@ -188,11 +213,27 @@ void check_round_line(const std::string& path, std::size_t lineno,
     fail(where + ": shard bytes_up sum to " + std::to_string(shard_bytes_up) +
          " != bytes_up=" + std::to_string(bytes_up));
   }
+
+  totals.bytes_down += bytes_down;
+  totals.bytes_up += bytes_up;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    totals.partial_bytes += count(shards[s], "partial_bytes");
+  }
+  totals.retries += retries;
+  if (degraded) ++totals.degraded_rounds;
+  totals.faults["drop"] += count(faults, "drops");
+  totals.faults["corrupt"] += count(faults, "corruptions");
+  totals.faults["timeout"] += count(faults, "timeouts");
+  totals.faults["duplicate"] += count(faults, "duplicates");
+  totals.faults["quorum_drop"] += count(faults, "quorum_drops");
+  totals.faults["device_failed"] += count(faults, "failed_devices");
+  totals.faults["round_degraded"] += degraded ? 1 : 0;
 }
 
-void lint_jsonl(const std::string& path) {
+JsonlTotals lint_jsonl(const std::string& path) {
   std::ifstream in(path);
   if (!in) fail("cannot open " + path);
+  JsonlTotals totals;
   std::string line;
   std::size_t lineno = 0;
   std::size_t rounds = 0;
@@ -216,13 +257,14 @@ void lint_jsonl(const std::string& path) {
       fail(path + ":" + std::to_string(lineno) + ": line lacks \"round\"");
     } else {
       ++rounds;
-      check_round_line(path, lineno, value);
+      check_round_line(path, lineno, value, totals);
     }
   }
   if (lineno == 0) fail(path + ": empty file");
   if (rounds == 0) fail(path + ": no round lines after the header");
   std::cout << "trace_lint: " << path << " ok (" << rounds
             << " round lines)\n";
+  return totals;
 }
 
 struct XEvent {
@@ -271,6 +313,14 @@ void lint_chrome(const std::string& path) {
 
   std::map<std::size_t, std::vector<XEvent>> x_by_tid;
   std::map<std::size_t, std::size_t> async_open;  // id -> open "b" count
+  // Flow arrows pair by id; the file order is per-thread drain order, so
+  // an "f" can appear before its "s" and the check must run at the end.
+  struct FlowInfo {
+    std::string name;
+    std::vector<double> starts;
+    std::vector<double> finishes;
+  };
+  std::map<double, FlowInfo> flows;  // keyed on the JSON-decoded id
   std::set<std::string> span_names;
   bool pool_thread = false;
   for (const JsonValue& ev : events) {
@@ -299,6 +349,16 @@ void lint_chrome(const std::string& path) {
              ") without a matching \"b\"");
       }
       --it->second;
+    } else if (ph == "s" || ph == "f") {
+      FlowInfo& flow = flows[ev.at("id").as_number()];
+      if (flow.name.empty()) {
+        flow.name = name;
+      } else if (flow.name != name) {
+        fail(path + ": flow id carries two names (\"" + flow.name +
+             "\" and \"" + name + "\"); ends of an arrow must match");
+      }
+      (ph == "s" ? flow.starts : flow.finishes)
+          .push_back(ev.at("ts").as_number());
     } else {
       fail(path + ": unexpected event phase \"" + ph + "\"");
     }
@@ -308,6 +368,26 @@ void lint_chrome(const std::string& path) {
       fail(path + ": async \"b\" event (id " + std::to_string(id) +
            ") never closed");
     }
+  }
+  std::size_t flow_arrows = 0;
+  for (auto& [id, flow] : flows) {
+    if (flow.starts.size() != flow.finishes.size()) {
+      fail(path + ": flow \"" + flow.name + "\" has " +
+           std::to_string(flow.starts.size()) + " \"s\" but " +
+           std::to_string(flow.finishes.size()) + " \"f\" events");
+    }
+    // Greedy earliest-to-earliest matching: valid iff every start can be
+    // paired with a finish that does not precede it.
+    std::sort(flow.starts.begin(), flow.starts.end());
+    std::sort(flow.finishes.begin(), flow.finishes.end());
+    for (std::size_t i = 0; i < flow.starts.size(); ++i) {
+      if (flow.finishes[i] < flow.starts[i]) {
+        fail(path + ": flow \"" + flow.name + "\" finishes at " +
+             std::to_string(flow.finishes[i]) + " before it starts at " +
+             std::to_string(flow.starts[i]));
+      }
+    }
+    flow_arrows += flow.starts.size();
   }
   for (auto& [tid, tid_events] : x_by_tid) {
     check_nesting(tid, tid_events);
@@ -324,7 +404,265 @@ void lint_chrome(const std::string& path) {
   for (const auto& [tid, tid_events] : x_by_tid) x_total += tid_events.size();
   std::cout << "trace_lint: " << path << " ok (" << x_total << " X events on "
             << x_by_tid.size() << " threads, " << span_names.size()
-            << " distinct spans)\n";
+            << " distinct spans, " << flow_arrows << " flow arrows)\n";
+}
+
+// One `name{labels} value` line of the exposition, labels in file order.
+struct MetricSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+struct Exposition {
+  std::map<std::string, std::string> types;  // family name -> counter|...
+  std::vector<MetricSample> samples;
+};
+
+// Label-set key for grouping/lookup: sorted k=v pairs joined with
+// unit-separator bytes (cannot appear in UTF-8 label text unescaped).
+std::string label_key(std::vector<std::pair<std::string, std::string>> labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+// Parses `name{k="v",...} value` (or `name value`). Label values use the
+// 0.0.4 escapes \\ \" \n; the value must consume the rest of the line
+// (the writer never emits the optional timestamp).
+MetricSample parse_sample_line(const std::string& where,
+                               const std::string& line) {
+  MetricSample sample;
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  sample.name = line.substr(0, i);
+  if (sample.name.empty()) fail(where + ": sample line lacks a metric name");
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        fail(where + ": malformed label pair (expected k=\"v\")");
+      }
+      std::string key = line.substr(i, eq - i);
+      std::string val;
+      std::size_t j = eq + 2;
+      while (j < line.size() && line[j] != '"') {
+        if (line[j] == '\\') {
+          if (j + 1 >= line.size()) fail(where + ": dangling escape");
+          const char c = line[j + 1];
+          if (c == '\\') val += '\\';
+          else if (c == '"') val += '"';
+          else if (c == 'n') val += '\n';
+          else fail(where + ": unknown escape \\" + std::string(1, c));
+          j += 2;
+        } else {
+          val += line[j++];
+        }
+      }
+      if (j >= line.size()) fail(where + ": unterminated label value");
+      sample.labels.emplace_back(std::move(key), std::move(val));
+      i = j + 1;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) fail(where + ": unterminated label set");
+    ++i;  // consume '}'
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    fail(where + ": no value after the metric name/labels");
+  }
+  const std::string value_text = line.substr(i + 1);
+  char* end = nullptr;
+  sample.value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() ||
+      static_cast<std::size_t>(end - value_text.c_str()) !=
+          value_text.size()) {
+    fail(where + ": unparseable sample value \"" + value_text + "\"");
+  }
+  return sample;
+}
+
+// The family a sample belongs to: histogram series drop their
+// _bucket/_sum/_count suffix when the base name is a typed histogram.
+std::string family_of(const Exposition& exposition, const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = name.substr(0, name.size() - s.size());
+      auto it = exposition.types.find(base);
+      if (it != exposition.types.end() && it->second == "histogram") {
+        return base;
+      }
+    }
+  }
+  return name;
+}
+
+Exposition lint_metrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  Exposition exposition;
+  std::set<std::string> sampled_families;
+  std::set<std::string> seen_series;  // name + labels, to reject duplicates
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string where = path + ":" + std::to_string(lineno);
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type, extra;
+      fields >> family >> type;
+      if (family.empty() || type.empty() || (fields >> extra)) {
+        fail(where + ": malformed TYPE line");
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        fail(where + ": unknown metric type \"" + type + "\"");
+      }
+      if (!exposition.types.emplace(family, type).second) {
+        fail(where + ": duplicate TYPE for family \"" + family + "\"");
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal
+    MetricSample sample = parse_sample_line(where, line);
+    const std::string family = family_of(exposition, sample.name);
+    if (!exposition.types.count(family)) {
+      fail(where + ": sample for \"" + sample.name +
+           "\" has no preceding TYPE line");
+    }
+    sampled_families.insert(family);
+    if (!seen_series.insert(sample.name + '\x1e' + label_key(sample.labels))
+             .second) {
+      fail(where + ": duplicate series for \"" + sample.name + "\"");
+    }
+    exposition.samples.push_back(std::move(sample));
+  }
+  if (exposition.samples.empty()) fail(path + ": no samples");
+
+  // Histogram structure: per (family, non-le labels), buckets appear in
+  // file order, counts non-decreasing, edges ascending, the last bucket
+  // is le="+Inf" and equals the series' _count.
+  struct HistogramSeries {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    bool last_is_inf = false;
+    double count = 0.0;
+    bool has_count = false;
+  };
+  std::map<std::string, HistogramSeries> histograms;
+  for (const MetricSample& sample : exposition.samples) {
+    const std::string family = family_of(exposition, sample.name);
+    if (exposition.types.at(family) != "histogram" || family == sample.name) {
+      continue;
+    }
+    if (sample.name == family + "_bucket") {
+      std::vector<std::pair<std::string, std::string>> rest;
+      std::string le;
+      bool has_le = false;
+      for (const auto& [k, v] : sample.labels) {
+        if (k == "le") {
+          le = v;
+          has_le = true;
+        } else {
+          rest.emplace_back(k, v);
+        }
+      }
+      if (!has_le) fail(path + ": _bucket sample without an le label");
+      char* end = nullptr;
+      const double edge = std::strtod(le.c_str(), &end);
+      if (end == le.c_str()) fail(path + ": unparseable le \"" + le + "\"");
+      HistogramSeries& series = histograms[family + '\x1e' + label_key(rest)];
+      if (!series.buckets.empty()) {
+        if (series.buckets.back().first >= edge) {
+          fail(path + ": histogram \"" + family +
+               "\" bucket edges are not ascending");
+        }
+        if (series.buckets.back().second > sample.value) {
+          fail(path + ": histogram \"" + family +
+               "\" bucket counts are not cumulative");
+        }
+      }
+      series.buckets.emplace_back(edge, sample.value);
+      series.last_is_inf = (le == "+Inf");
+    } else if (sample.name == family + "_count") {
+      HistogramSeries& series =
+          histograms[family + '\x1e' + label_key(sample.labels)];
+      series.count = sample.value;
+      series.has_count = true;
+    }
+  }
+  for (const auto& [key, series] : histograms) {
+    const std::string family = key.substr(0, key.find('\x1e'));
+    if (series.buckets.empty() || !series.last_is_inf) {
+      fail(path + ": histogram \"" + family +
+           "\" does not end in an le=\"+Inf\" bucket");
+    }
+    if (!series.has_count) {
+      fail(path + ": histogram \"" + family + "\" lacks a _count sample");
+    }
+    if (series.buckets.back().second != series.count) {
+      fail(path + ": histogram \"" + family + "\" +Inf bucket " +
+           std::to_string(series.buckets.back().second) + " != _count " +
+           std::to_string(series.count));
+    }
+  }
+
+  std::cout << "trace_lint: " << path << " ok (" << exposition.samples.size()
+            << " samples across " << sampled_families.size()
+            << " families)\n";
+  return exposition;
+}
+
+// Reconciles the cumulative registry counters against the per-round
+// JSONL trace: two independent observers of the same run must agree.
+void cross_check(const std::string& path, const Exposition& exposition,
+                 const JsonlTotals& totals) {
+  const auto counter = [&](const std::string& name,
+                           std::vector<std::pair<std::string, std::string>>
+                               labels) -> double {
+    const std::string want = label_key(std::move(labels));
+    for (const MetricSample& sample : exposition.samples) {
+      if (sample.name == name && label_key(sample.labels) == want) {
+        return sample.value;
+      }
+    }
+    fail(path + ": missing counter \"" + name +
+         "\" needed for the --jsonl cross-check");
+  };
+  const auto expect = [&](const std::string& name,
+                          std::vector<std::pair<std::string, std::string>>
+                              labels,
+                          std::uint64_t jsonl_value) {
+    const double metric = counter(name, labels);
+    if (metric != static_cast<double>(jsonl_value)) {
+      std::string selector = name;
+      if (!labels.empty()) {
+        selector += "{" + labels[0].first + "=\"" + labels[0].second + "\"}";
+      }
+      fail(path + ": " + selector + "=" + std::to_string(metric) +
+           " but the JSONL trace sums to " + std::to_string(jsonl_value));
+    }
+  };
+  expect("fed_comm_bytes_down_total", {}, totals.bytes_down);
+  expect("fed_comm_bytes_up_total", {}, totals.bytes_up);
+  expect("fed_shard_partial_bytes_total", {}, totals.partial_bytes);
+  expect("fed_comm_retries_total", {}, totals.retries);
+  expect("fed_comm_rounds_degraded_total", {}, totals.degraded_rounds);
+  for (const auto& [kind, count] : totals.faults) {
+    expect("fed_comm_faults_total", {{"kind", kind}}, count);
+  }
+  std::cout << "trace_lint: metrics reconcile with the JSONL trace ("
+            << totals.faults.size() << " fault kinds checked)\n";
 }
 
 }  // namespace
@@ -333,10 +671,18 @@ int main(int argc, char** argv) {
   fed::CliFlags flags(argc, argv);
   const auto jsonl = flags.get_optional_string("jsonl");
   const auto chrome = flags.get_optional_string("chrome");
-  if (!jsonl && !chrome) {
-    fail("usage: trace_lint [--jsonl run.jsonl] [--chrome run.trace.json]");
+  const auto metrics = flags.get_optional_string("metrics");
+  if (!jsonl && !chrome && !metrics) {
+    fail(
+        "usage: trace_lint [--jsonl run.jsonl] [--chrome run.trace.json] "
+        "[--metrics metrics.prom]");
   }
-  if (jsonl) lint_jsonl(*jsonl);
+  JsonlTotals totals;
+  if (jsonl) totals = lint_jsonl(*jsonl);
   if (chrome) lint_chrome(*chrome);
+  if (metrics) {
+    const Exposition exposition = lint_metrics(*metrics);
+    if (jsonl) cross_check(*metrics, exposition, totals);
+  }
   return 0;
 }
