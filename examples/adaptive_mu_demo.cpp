@@ -14,7 +14,7 @@
 namespace {
 
 struct MuTableObserver : fed::TrainingObserver {
-  explicit MuTableObserver(fed::TablePrinter& table) : table(table) {}
+  explicit MuTableObserver(fed::TablePrinter& out) : table(out) {}
   void on_round_end(const fed::RoundMetrics& m,
                     const fed::RoundTrace&) override {
     if (!m.evaluated()) return;

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   const std::size_t probe_devices = std::min<std::size_t>(5, w.data.num_clients());
   for (std::size_t k = 0; k < probe_devices; ++k) {
     const Dataset& train = w.data.clients[k].train;
-    if (train.size() == 0) continue;
+    if (train.empty()) continue;
     LocalProblem problem{&model, &train, params, mu_probe, {}};
     SolveBudget budget{
         .iterations = iterations_for_epochs(epochs, train.size(), w.batch_size),

@@ -63,6 +63,17 @@ class Transport {
   // the exact bytes moved each direction. Called concurrently from
   // ThreadPool workers (one call per selected device per round);
   // implementations must be thread-safe and deterministic.
+  //
+  // Thread contract (checked convention, not just prose): every bundled
+  // transport is immutable after construction — exchange() is const and
+  // touches no mutable members, so concurrent calls share nothing and
+  // need no lock. An implementation that adds mutable state (caches,
+  // sockets, counters) must guard it with a fed::Mutex and declare the
+  // fields FED_GUARDED_BY(...) (support/thread_annotations.h) so the
+  // FEDPROX_THREAD_SAFETY build enforces its locking; per-exchange
+  // randomness must stay counter-keyed (seed, round, device, attempt) —
+  // never a shared mutable RNG — or determinism across thread counts
+  // breaks (tools/fedlint polices the wall-clock/random_device side).
   virtual ExchangeRecord exchange(const ModelBroadcast& broadcast,
                                   const ClientRuntime& client) const = 0;
 

@@ -112,7 +112,7 @@ SmoothnessEstimate estimate_federated_smoothness(
   const std::size_t n = data.num_clients();
   std::vector<SmoothnessEstimate> per_client(n);
   auto compute = [&](std::size_t k) {
-    if (data.clients[k].train.size() == 0) return;
+    if (data.clients[k].train.empty()) return;
     Rng rng = make_stream(seed, StreamKind::kTest, k);
     per_client[k] =
         estimate_smoothness(model, data.clients[k].train, w, probes, step, rng);

@@ -29,6 +29,7 @@ struct Dataset {
   std::vector<std::int32_t> labels;
 
   std::size_t size() const { return labels.size(); }
+  bool empty() const { return labels.empty(); }
   bool is_sequence() const { return !tokens.empty(); }
 
   // Appends sample i of `src` to this dataset. Shapes must agree.

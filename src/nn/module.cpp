@@ -20,7 +20,7 @@ double Model::loss(std::span<const double> w, const Dataset& data,
 
 double Model::dataset_loss(std::span<const double> w,
                            const Dataset& data) const {
-  if (data.size() == 0) return 0.0;
+  if (data.empty()) return 0.0;
   const auto batch = full_batch(data.size());
   return loss(w, data, batch);
 }
@@ -29,14 +29,14 @@ double Model::dataset_loss_and_grad(std::span<const double> w,
                                     const Dataset& data,
                                     std::span<double> grad) const {
   zero(grad);
-  if (data.size() == 0) return 0.0;
+  if (data.empty()) return 0.0;
   const auto batch = full_batch(data.size());
   return loss_and_grad(w, data, batch, grad);
 }
 
 std::size_t Model::correct_count(std::span<const double> w,
                                  const Dataset& data) const {
-  if (data.size() == 0) return 0;
+  if (data.empty()) return 0;
   const auto batch = full_batch(data.size());
   std::vector<std::int32_t> pred;
   predict(w, data, batch, pred);
@@ -48,7 +48,7 @@ std::size_t Model::correct_count(std::span<const double> w,
 }
 
 double Model::accuracy(std::span<const double> w, const Dataset& data) const {
-  if (data.size() == 0) return 0.0;
+  if (data.empty()) return 0.0;
   return static_cast<double>(correct_count(w, data)) /
          static_cast<double>(data.size());
 }

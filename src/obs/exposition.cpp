@@ -187,7 +187,7 @@ MetricsExporter::MetricsExporter(MetricsRegistry& registry, std::string path,
 
 MetricsExporter::~MetricsExporter() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -197,8 +197,8 @@ MetricsExporter::~MetricsExporter() {
 void MetricsExporter::worker_loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return publish_requested_ || stop_; });
+      MutexLock lock(mu_);
+      while (!publish_requested_ && !stop_) cv_.wait(mu_);
       // Drain the pending request even when stopping, so a request made
       // just before destruction still lands on disk.
       if (!publish_requested_) return;
@@ -212,7 +212,7 @@ void MetricsExporter::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       busy_ = false;
       if (error) {
         if (!error_) error_ = error;
@@ -226,15 +226,15 @@ void MetricsExporter::worker_loop() {
 
 void MetricsExporter::request_publish() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     publish_requested_ = true;
   }
   cv_.notify_all();
 }
 
 void MetricsExporter::flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !publish_requested_ && !busy_; });
+  MutexLock lock(mu_);
+  while (publish_requested_ || busy_) cv_.wait(mu_);
   if (error_) {
     const std::exception_ptr error = error_;
     error_ = nullptr;

@@ -36,15 +36,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "support/thread_annotations.h"
 
 namespace fed {
 
@@ -90,7 +89,7 @@ class MetricsExporter final : public TrainingObserver {
   // Blocks until every requested publish has hit the disk, then rethrows
   // the first writer-thread I/O error, if any (on_run_end flushes too,
   // so run() surfaces publish failures).
-  void flush();
+  void flush() FED_EXCLUDES(mu_);
 
   const std::string& path() const { return path_; }
   // Completed publishes. Coalescing means this can be lower than the
@@ -100,21 +99,23 @@ class MetricsExporter final : public TrainingObserver {
   }
 
  private:
-  void request_publish();
-  void worker_loop();
+  void request_publish() FED_EXCLUDES(mu_);
+  void worker_loop() FED_EXCLUDES(mu_);
 
   MetricsRegistry& registry_;
   std::string path_;
   std::size_t every_;
-  std::size_t rounds_seen_ = 0;
+  std::size_t rounds_seen_ = 0;  // round thread only (observer hooks)
   std::atomic<std::size_t> writes_{0};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool publish_requested_ = false;  // guarded by mu_
-  bool busy_ = false;               // guarded by mu_; a write is in flight
-  bool stop_ = false;               // guarded by mu_
-  std::exception_ptr error_;        // guarded by mu_; first write failure
+  // mu_ guards the round-thread <-> writer-thread handshake; cv_ signals
+  // both directions (request posted / write finished).
+  Mutex mu_;
+  CondVar cv_;
+  bool publish_requested_ FED_GUARDED_BY(mu_) = false;
+  bool busy_ FED_GUARDED_BY(mu_) = false;  // a write is in flight
+  bool stop_ FED_GUARDED_BY(mu_) = false;
+  std::exception_ptr error_ FED_GUARDED_BY(mu_);  // first write failure
   std::thread worker_;
 };
 

@@ -60,7 +60,7 @@ std::string metric_selector(const std::string& name,
 Histogram::Histogram(double scale, std::size_t num_buckets)
     : scale_(scale > 0.0 ? scale : 1e-6),
       num_buckets_(num_buckets ? num_buckets : 1),
-      buckets_(new std::atomic<std::uint64_t>[num_buckets_]) {
+      buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(num_buckets_)) {
   reset();
 }
 
@@ -124,7 +124,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name][canonical(std::move(labels))];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -135,7 +135,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name][canonical(std::move(labels))];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -149,19 +149,19 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double scale,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       MetricLabels labels, double scale,
                                       std::size_t num_buckets) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name][canonical(std::move(labels))];
   if (!slot) slot = std::make_unique<Histogram>(scale, num_buckets);
   return *slot;
 }
 
 void MetricsRegistry::set_help(const std::string& name, std::string help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   help_[name] = std::move(help);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot out;
   for (const auto& [name, family] : counters_) {
     auto& samples = out.counters[name];

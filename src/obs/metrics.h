@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +30,7 @@
 #include "comm/fault.h"
 #include "obs/observer.h"
 #include "support/json.h"
+#include "support/thread_annotations.h"
 
 namespace fed {
 
@@ -150,21 +150,25 @@ class MetricsRegistry {
   // the registry's lifetime; only this lookup takes the mutex. The
   // labels overloads address one member of a labeled family; the
   // label-free overloads are the family's single unlabeled member.
-  Counter& counter(const std::string& name);
-  Counter& counter(const std::string& name, MetricLabels labels);
-  Gauge& gauge(const std::string& name);
-  Gauge& gauge(const std::string& name, MetricLabels labels);
+  Counter& counter(const std::string& name) FED_EXCLUDES(mutex_);
+  Counter& counter(const std::string& name, MetricLabels labels)
+      FED_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) FED_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, MetricLabels labels)
+      FED_EXCLUDES(mutex_);
   Histogram& histogram(const std::string& name, double scale = 1e-6,
-                       std::size_t num_buckets = 32);
+                       std::size_t num_buckets = 32) FED_EXCLUDES(mutex_);
   Histogram& histogram(const std::string& name, MetricLabels labels,
-                       double scale = 1e-6, std::size_t num_buckets = 32);
+                       double scale = 1e-6, std::size_t num_buckets = 32)
+      FED_EXCLUDES(mutex_);
   // Members of one histogram family should share scale/num_buckets; the
   // shape arguments only apply when the instrument is first created.
 
   // HELP text for a family, rendered by the exposition writer. Idempotent.
-  void set_help(const std::string& name, std::string help);
+  void set_help(const std::string& name, std::string help)
+      FED_EXCLUDES(mutex_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const FED_EXCLUDES(mutex_);
 
   // Snapshot of every instrument: {"counters":{...},"gauges":{...},
   // "histograms":{name:{count,sum,min,max,mean}}}. Labeled instruments
@@ -179,11 +183,17 @@ class MetricsRegistry {
   template <typename T>
   using Family = std::map<MetricLabels, std::unique_ptr<T>>;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family<Counter>> counters_;
-  std::map<std::string, Family<Gauge>> gauges_;
-  std::map<std::string, Family<Histogram>> histograms_;
-  std::map<std::string, std::string> help_;
+  // mutex_ guards the family maps and help_ — i.e. registry *structure*
+  // (find-or-create, snapshot iteration). It never guards instrument
+  // *values*: those live behind stable unique_ptr addresses and update
+  // via relaxed atomics, so cached Counter&/Gauge&/Histogram& references
+  // stay valid and writable without the lock (the stable-address
+  // contract in the file comment).
+  mutable Mutex mutex_;
+  std::map<std::string, Family<Counter>> counters_ FED_GUARDED_BY(mutex_);
+  std::map<std::string, Family<Gauge>> gauges_ FED_GUARDED_BY(mutex_);
+  std::map<std::string, Family<Histogram>> histograms_ FED_GUARDED_BY(mutex_);
+  std::map<std::string, std::string> help_ FED_GUARDED_BY(mutex_);
 };
 
 // name{k="v",...} selector form for tables/JSON keys ("" labels -> name).

@@ -25,9 +25,12 @@ Profiler::ThreadBuffer& Profiler::local_buffer() {
   if (!buffer) {
     auto owned = std::make_unique<ThreadBuffer>();
     buffer = owned.get();
-    std::lock_guard lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     buffer->tid = static_cast<std::uint32_t>(buffers_.size());
-    buffer->name = "thread-" + std::to_string(buffer->tid);
+    {
+      MutexLock name_lock(buffer->mutex);
+      buffer->name = "thread-" + std::to_string(buffer->tid);
+    }
     buffers_.push_back(std::move(owned));
   }
   return *buffer;
@@ -35,13 +38,13 @@ Profiler::ThreadBuffer& Profiler::local_buffer() {
 
 void Profiler::set_thread_name(std::string name) {
   ThreadBuffer& buffer = local_buffer();
-  std::lock_guard lock(buffer.mutex);
+  MutexLock lock(buffer.mutex);
   buffer.name = std::move(name);
 }
 
 void Profiler::record(const ProfileEvent& event) {
   ThreadBuffer& buffer = local_buffer();
-  std::lock_guard lock(buffer.mutex);
+  MutexLock lock(buffer.mutex);
   ProfileEvent& stored = buffer.events.emplace_back(event);
   stored.tid = buffer.tid;
 }
@@ -49,9 +52,9 @@ void Profiler::record(const ProfileEvent& event) {
 Profiler::Snapshot Profiler::drain() {
   Snapshot snapshot;
   {
-    std::lock_guard registry_lock(registry_mutex_);
+    MutexLock registry_lock(registry_mutex_);
     for (auto& buffer : buffers_) {
-      std::lock_guard lock(buffer->mutex);
+      MutexLock lock(buffer->mutex);
       snapshot.threads.emplace_back(buffer->tid, buffer->name);
       snapshot.events.insert(snapshot.events.end(), buffer->events.begin(),
                              buffer->events.end());
@@ -69,9 +72,9 @@ Profiler::Snapshot Profiler::drain() {
 }
 
 void Profiler::discard() {
-  std::lock_guard registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   for (auto& buffer : buffers_) {
-    std::lock_guard lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     buffer->events.clear();
   }
 }

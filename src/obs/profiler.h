@@ -31,10 +31,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace fed {
 
@@ -75,7 +76,7 @@ class Profiler {
 
   // Names the calling thread's track ("main", "pool-3"). Cheap; callable
   // whether or not recording is enabled.
-  void set_thread_name(std::string name);
+  void set_thread_name(std::string name) FED_EXCLUDES(registry_mutex_);
 
   // Microseconds since the profiler epoch (first instance() call).
   std::uint64_t now_us() const;
@@ -86,7 +87,7 @@ class Profiler {
   }
 
   // Appends to the calling thread's buffer. Caller checks is_enabled().
-  void record(const ProfileEvent& event);
+  void record(const ProfileEvent& event) FED_EXCLUDES(registry_mutex_);
 
   struct Snapshot {
     // Sorted by start_us; ties broken longest-duration-first so parents
@@ -97,26 +98,31 @@ class Profiler {
   // Moves every thread's events out (buffers stay registered) and lists
   // all known threads. Safe to call while other threads record; events
   // recorded concurrently land in the next drain.
-  Snapshot drain();
+  Snapshot drain() FED_EXCLUDES(registry_mutex_);
   // Drops all buffered events without building a snapshot.
-  void discard();
+  void discard() FED_EXCLUDES(registry_mutex_);
 
  private:
+  // Lock order: registry_mutex_ before any ThreadBuffer::mutex (drain/
+  // discard nest them that way; no path acquires in the other order).
   struct ThreadBuffer {
-    std::mutex mutex;  // uncontended except during drain/discard
-    std::vector<ProfileEvent> events;
+    Mutex mutex;  // uncontended except during drain/discard
+    std::vector<ProfileEvent> events FED_GUARDED_BY(mutex);
+    std::string name FED_GUARDED_BY(mutex);
+    // Assigned once under registry_mutex_ before the buffer is published,
+    // then read only by the owning thread and drain(); effectively const.
     std::uint32_t tid = 0;
-    std::string name;
   };
 
   Profiler();
-  ThreadBuffer& local_buffer();
+  ThreadBuffer& local_buffer() FED_EXCLUDES(registry_mutex_);
 
   static std::atomic<bool> enabled_;
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> async_id_{1};
-  std::mutex registry_mutex_;  // guards buffers_ growth only
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  Mutex registry_mutex_;  // guards buffers_ growth only
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      FED_GUARDED_BY(registry_mutex_);
 };
 
 // RAII complete-event span. Construction snapshots the start time (when

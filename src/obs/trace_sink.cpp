@@ -33,7 +33,7 @@ JsonObject run_info_json(const RunInfo& info) {
 
 JsonlTraceSink::JsonlTraceSink(const std::string& path,
                                RotationPolicy rotation)
-    : path_(path), out_(nullptr), rotation_(rotation) {
+    : path_(path), rotation_(rotation), out_(nullptr) {
   const auto slash = path.find_last_of('/');
   if (slash != std::string::npos) {
     ensure_directory(path.substr(0, slash));
@@ -87,6 +87,7 @@ void JsonlTraceSink::rotate() {
 void JsonlTraceSink::begin_run(const RunInfo& info) {
   JsonObject line;
   line["run"] = run_info_json(info);
+  MutexLock lock(mutex_);
   header_line_ = serialize_json(JsonValue(std::move(line)));
   emit(header_line_);
 }
@@ -103,12 +104,15 @@ void JsonlTraceSink::write(const RoundMetrics& metrics,
   m["dissimilarity_b"] = opt_json(metrics.dissimilarity_b);
   m["mean_gamma"] = opt_json(metrics.mean_gamma);
   value.as_object()["metrics"] = std::move(m);
-  emit(serialize_json(value));
+  const std::string line = serialize_json(value);
+  MutexLock lock(mutex_);
+  emit(line);
   ++round_lines_;
 }
 
 void JsonlTraceSink::end_run(const TrainHistory& history) {
   (void)history;
+  MutexLock lock(mutex_);
   out_->flush();
 }
 

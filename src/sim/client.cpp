@@ -33,7 +33,7 @@ ClientResult run_client(const Model& model, const ClientData& data,
   solver.solve(problem, solve_budget, minibatch_rng, result.update);
   result.solve_seconds = solve_timer.seconds();
 
-  if (config.measure_gamma && data.train.size() > 0) {
+  if (config.measure_gamma && !data.train.empty()) {
     result.gamma = measure_gamma(problem, result.update);
     result.gamma_measured = true;
   }

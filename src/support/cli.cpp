@@ -102,7 +102,7 @@ std::vector<double> CliFlags::get_double_list(
 std::vector<std::string> CliFlags::unused() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : values_) {
-    if (!read_.count(name)) out.push_back(name);
+    if (!read_.contains(name)) out.push_back(name);
   }
   return out;
 }

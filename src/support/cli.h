@@ -29,7 +29,7 @@ class CliFlags {
   std::vector<double> get_double_list(const std::string& name,
                                       std::vector<double> fallback) const;
 
-  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  bool has(const std::string& name) const { return values_.contains(name); }
 
   // Positional (non --flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -327,7 +327,7 @@ const JsonValue& JsonValue::at(const std::string& key) const {
 }
 
 bool JsonValue::contains(const std::string& key) const {
-  return is_object() && as_object().count(key) > 0;
+  return is_object() && as_object().contains(key);
 }
 
 JsonValue parse_json(const std::string& text) {

@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "support/thread_annotations.h"
 
 namespace fed {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+// Serializes whole log lines onto the shared cout/cerr streams.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +28,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
   out << "[" << level_name(level) << "] " << message << '\n';
 }

@@ -1,0 +1,133 @@
+// Clang Thread Safety Analysis wiring: annotated mutex/condvar wrappers
+// plus the attribute macros that declare which mutex guards which field
+// and which methods must (or must not) hold it. Under Clang with
+// -Wthread-safety (CMake option FEDPROX_THREAD_SAFETY=ON turns it into
+// -Werror=thread-safety-analysis) the lock contracts below are checked
+// at compile time; under GCC or unannotated builds every macro expands
+// to nothing and Mutex/MutexLock/CondVar are zero-cost wrappers over the
+// std primitives, so the annotations cost nothing where they cannot be
+// enforced.
+//
+// Conventions used across the codebase (see DESIGN.md §11):
+//   - every std::mutex that guards state is a fed::Mutex, and every
+//     guarded field carries FED_GUARDED_BY(mutex_) in the header — the
+//     header *is* the lock-contract documentation;
+//   - locks are taken with fed::MutexLock (RAII scope), never bare
+//     lock()/unlock() pairs;
+//   - condition waits are explicit while-loops over guarded predicates
+//     (`while (!ready_) cv_.wait(mutex_);`) so the analysis can see the
+//     guarded reads happen under the lock — no std-style predicate
+//     lambdas, which the analysis cannot attribute to the held lock;
+//   - private helpers that assume the lock is held are annotated
+//     FED_REQUIRES(mutex_); public methods that take it are annotated
+//     FED_EXCLUDES(mutex_) when calling them with it held would
+//     deadlock.
+//
+// The negative compile-fail tests in tests/static_analysis/ prove the
+// wiring rejects an unguarded access and a REQUIRES violation, so this
+// header cannot silently rot into a no-op.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang exposes the attributes through __has_attribute; GCC (and MSVC)
+// report 0 and compile the annotations away.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FED_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef FED_THREAD_ANNOTATION_
+#define FED_THREAD_ANNOTATION_(x)  // not supported by this compiler
+#endif
+
+// Type attributes.
+#define FED_CAPABILITY(x) FED_THREAD_ANNOTATION_(capability(x))
+#define FED_SCOPED_CAPABILITY FED_THREAD_ANNOTATION_(scoped_lockable)
+
+// Field attributes: which mutex guards this member (the pointer variant
+// guards the pointee, not the pointer).
+#define FED_GUARDED_BY(x) FED_THREAD_ANNOTATION_(guarded_by(x))
+#define FED_PT_GUARDED_BY(x) FED_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function attributes: the caller must hold / must not hold the named
+// capabilities, or the function acquires/releases them itself.
+#define FED_REQUIRES(...) \
+  FED_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define FED_ACQUIRE(...) \
+  FED_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define FED_RELEASE(...) \
+  FED_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define FED_TRY_ACQUIRE(...) \
+  FED_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define FED_EXCLUDES(...) FED_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define FED_ASSERT_CAPABILITY(x) \
+  FED_THREAD_ANNOTATION_(assert_capability(x))
+#define FED_RETURN_CAPABILITY(x) FED_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (lock-free hand-offs,
+// intentionally unbalanced acquire). Every use needs a comment saying
+// why the analysis is wrong there.
+#define FED_NO_THREAD_SAFETY_ANALYSIS \
+  FED_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace fed {
+
+// std::mutex with the capability attribute, so fields can be declared
+// FED_GUARDED_BY(mutex_) and methods FED_REQUIRES(mutex_). Lock through
+// MutexLock; the raw lock()/unlock() exist for CondVar and the guard.
+class FED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FED_ACQUIRE() { mu_.lock(); }
+  void unlock() FED_RELEASE() { mu_.unlock(); }
+  bool try_lock() FED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII scope holding a Mutex. The analysis treats the guard's lifetime
+// as the span over which the capability is held.
+class FED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FED_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FED_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable that waits on a fed::Mutex. wait() releases and
+// re-acquires `mu` internally, which the analysis cannot model, so the
+// body is exempt — but the FED_REQUIRES(mu) contract still binds every
+// caller: waiting without the lock held is a compile error. Always wait
+// in a while-loop over the guarded predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks until notified, re-acquires `mu`.
+  // Spurious wakeups happen; loop over the predicate.
+  void wait(Mutex& mu) FED_REQUIRES(mu) FED_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace fed

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -37,7 +37,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   std::future<void> fut = entry.work.get_future();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(entry));
   }
   cv_.notify_one();
@@ -83,8 +83,8 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

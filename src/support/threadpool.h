@@ -13,16 +13,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace fed {
 
@@ -38,7 +38,8 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   // Enqueues a task; the returned future rethrows any task exception.
-  std::future<void> submit(std::function<void()> task);
+  // Takes mutex_ briefly — never call from a task holding it.
+  std::future<void> submit(std::function<void()> task) FED_EXCLUDES(mutex_);
 
   // Runs fn(i) for i in [0, n) across the pool and waits for completion.
   // Exceptions from tasks are rethrown (the first one encountered).
@@ -67,12 +68,16 @@ class ThreadPool {
 
   void worker_loop(std::size_t index);
 
+  // workers_ and counters_ are fixed at construction (written before the
+  // workers start, const thereafter); the queue and the stop flag are
+  // the only cross-thread mutable state, guarded by mutex_ with cv_
+  // signalling arrivals and shutdown.
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerCounters>> counters_;
-  std::queue<Task> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<Task> tasks_ FED_GUARDED_BY(mutex_);
+  bool stop_ FED_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fed

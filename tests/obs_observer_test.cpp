@@ -156,7 +156,7 @@ TEST_F(ObserverTest, CompositeFansOutInRegistrationOrder) {
   CompositeObserver composite;
   std::vector<int> order;
   struct Tagger : TrainingObserver {
-    Tagger(std::vector<int>& order, int tag) : order(order), tag(tag) {}
+    Tagger(std::vector<int>& order_log, int id) : order(order_log), tag(id) {}
     void on_round_end(const RoundMetrics&, const RoundTrace&) override {
       order.push_back(tag);
     }
@@ -191,7 +191,7 @@ TEST_F(ObserverTest, ObserversFireInRegistrationOrderThroughTrainer) {
   Trainer trainer(model, data(), config());
   std::vector<int> order;
   struct Tagger : TrainingObserver {
-    Tagger(std::vector<int>& order, int tag) : order(order), tag(tag) {}
+    Tagger(std::vector<int>& order_log, int id) : order(order_log), tag(id) {}
     void on_round_end(const RoundMetrics&, const RoundTrace&) override {
       order.push_back(tag);
     }

@@ -195,6 +195,8 @@ TEST_F(ProfilerTest, CompleteEventsNestPerThreadAndAsyncPairsMatch) {
       case ProfileEvent::Type::kComplete: by_tid[e.tid].push_back(&e); break;
       case ProfileEvent::Type::kAsyncBegin: ++async_open[e.id]; break;
       case ProfileEvent::Type::kAsyncEnd: --async_open[e.id]; break;
+      case ProfileEvent::Type::kFlowStart:
+      case ProfileEvent::Type::kFlowEnd: break;  // paired by FlowPairsBalance
     }
   }
   for (const auto& [tid, events] : by_tid) {

@@ -1,0 +1,27 @@
+// Negative case: writes a FED_GUARDED_BY field without holding its
+// mutex. Valid C++ (it compiles when the annotations are no-ops), but
+// under Clang with -Werror=thread-safety-analysis this MUST fail to
+// compile — the ctest in tests/CMakeLists.txt asserts exactly that, so
+// the annotation wiring cannot silently rot into a no-op.
+
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BAD: touches balance_ with mu_ not held.
+  void deposit_unlocked(int n) { balance_ += n; }
+
+ private:
+  fed::Mutex mu_;
+  int balance_ FED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit_unlocked(1);
+  return 0;
+}

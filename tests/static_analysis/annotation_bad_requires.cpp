@@ -1,0 +1,26 @@
+// Negative case: calls a FED_REQUIRES method without holding the
+// required mutex. Valid C++ when the annotations are no-ops; under
+// Clang with -Werror=thread-safety-analysis this MUST fail to compile
+// (asserted by the compile-fail ctest).
+
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void credit(int n) FED_REQUIRES(mu_) { balance_ += n; }
+
+  fed::Mutex mu_;
+
+ private:
+  int balance_ FED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.credit(1);  // BAD: mu_ not held
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Positive control for the thread-safety compile-fail tests: correct
+// lock discipline over the annotated primitives. Must compile under any
+// supported compiler, with or without -Wthread-safety — if this file
+// fails, the wrappers themselves (not the checked code) are broken.
+
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // Public entry points take the lock themselves.
+  void deposit(int n) FED_EXCLUDES(mu_) {
+    fed::MutexLock lock(mu_);
+    credit(n);
+  }
+
+  int balance() FED_EXCLUDES(mu_) {
+    fed::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void wait_for_funds() FED_EXCLUDES(mu_) {
+    fed::MutexLock lock(mu_);
+    while (balance_ <= 0) cv_.wait(mu_);
+  }
+
+  void close() FED_EXCLUDES(mu_) {
+    {
+      fed::MutexLock lock(mu_);
+      credit(1);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  // Internal helper assumes the lock; callers above hold it.
+  void credit(int n) FED_REQUIRES(mu_) { balance_ += n; }
+
+  fed::Mutex mu_;
+  fed::CondVar cv_;
+  int balance_ FED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(5);
+  account.close();
+  return account.balance() == 6 ? 0 : 1;
+}

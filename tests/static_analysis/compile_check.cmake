@@ -1,0 +1,42 @@
+# Compile (or refuse to compile) one source file, as a ctest.
+#
+# Invoked by tests/CMakeLists.txt as
+#   cmake -DCOMPILER=... -DSRC=... -DINC=... [-DEXTRA_FLAGS="..."]
+#         [-DEXPECT_FAIL=ON] -P compile_check.cmake
+#
+# EXPECT_FAIL=ON inverts the assertion: the file must NOT compile. Used
+# with -Werror=thread-safety-analysis to prove the annotation macros
+# actually reject an unguarded access / REQUIRES violation.
+
+foreach(var COMPILER SRC INC)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compile_check.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+separate_arguments(extra_flags UNIX_COMMAND "${EXTRA_FLAGS}")
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only "-I${INC}" ${extra_flags}
+          ${SRC}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT_FAIL)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected a thread-safety compile error, but ${SRC} compiled "
+            "cleanly — the annotation wiring is not enforcing anything")
+  endif()
+  # Make sure it failed for the right reason, not a stray syntax error.
+  if(NOT err MATCHES "thread-safety" AND NOT err MATCHES "thread_safety")
+    message(FATAL_ERROR
+            "${SRC} failed to compile, but not from thread-safety "
+            "analysis:\n${err}")
+  endif()
+else()
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "expected ${SRC} to compile, but it failed:\n${err}")
+  endif()
+endif()

@@ -1,0 +1,491 @@
+// fedlint: repo-specific determinism & resource-discipline checker.
+//
+// The reproduction's headline guarantee is a bit-identical TrainHistory
+// across transports, shard counts, and thread counts — which only holds
+// if no code path reads a nondeterministic source. TSan and the chaos
+// tests catch interleaving bugs at runtime when they happen to fire;
+// fedlint makes the underlying *rules* static properties of the tree,
+// in the same spirit as tools/trace_lint for run artifacts:
+//
+//   fedlint --root . --allowlist tools/fedlint_allow.txt   # whole repo
+//   fedlint --root some/dir                                # any subtree
+//   fedlint --self-test                                    # rule engine
+//   fedlint --list-rules
+//
+// Rules (token/regex over comment- and string-stripped source):
+//   randomness            std::random_device, rand()/srand(), *rand48,
+//                         getentropy/getrandom — every draw must come
+//                         from a counter-keyed, seeded stream
+//                         (support/rng.h) or reruns stop reproducing.
+//   wall-clock            system_clock/steady_clock/high_resolution_-
+//                         clock, gettimeofday, clock_gettime, time(0),
+//                         localtime/gmtime/strftime — simulation logic
+//                         runs on the simulated clock; wall time may
+//                         only feed measurement (bench timing, profiler
+//                         timestamps), which is what the allowlist is
+//                         for.
+//   unordered-container   std::unordered_{map,set,multimap,multiset} —
+//                         iteration order is unspecified and varies
+//                         across libstdc++/libc++ and seeds, so any
+//                         iteration feeding traces, wire encodings, or
+//                         aggregation breaks bit-identity. Use std::map
+//                         or sorted vectors.
+//   float-accumulation    `float` inside tensor/ or sim/ — reduce paths
+//                         accumulate in double or tensor/exact_sum;
+//                         f32 belongs only in explicit wire codecs.
+//   raw-new               raw new/delete — ownership goes through
+//                         make_unique/containers so sanitizer and
+//                         fault-injection paths can't leak.
+//
+// Allowlist file: one `path-prefix rule-id` pair per line (# comments),
+// paths relative to --root with forward slashes. An entry that matches
+// no finding is itself an error — the allowlist can only shrink. Policy:
+// keep it under 10 entries; a new entry needs a justifying comment.
+//
+// Exit status: 0 clean, 1 findings (or unused allowlist entries), 2
+// usage/configuration errors. Wired into ctest (fedlint_repo,
+// fedlint_self_test, fedlint fixture pair) and the default CI job.
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rule {
+  std::string id;
+  std::regex pattern;
+  // When non-empty, the rule only applies to files whose repo-relative
+  // path contains one of these directory segments.
+  std::vector<std::string> dir_filter;
+  std::string message;
+};
+
+struct Finding {
+  std::string path;  // relative, forward slashes
+  std::size_t line = 0;
+  std::string rule;
+  std::string excerpt;
+};
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = [] {
+    std::vector<Rule> r;
+    const auto flags = std::regex::ECMAScript | std::regex::optimize;
+    r.push_back({"randomness",
+                 std::regex(R"(\brandom_device\b|\bsrand\s*\(|\brand\s*\(|\bdrand48\b|\blrand48\b|\bmrand48\b|\bgetentropy\b|\bgetrandom\b)",
+                            flags),
+                 {},
+                 "nondeterministic randomness source; draw from a seeded, "
+                 "counter-keyed stream (support/rng.h) instead"});
+    r.push_back({"wall-clock",
+                 std::regex(R"(\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b|\bstrftime\b|\basctime\b|\btime\s*\(\s*(nullptr|NULL|0)\s*\))",
+                            flags),
+                 {},
+                 "wall-clock read; simulation logic must use the simulated "
+                 "clock — wall time is allowlisted only for measurement "
+                 "(bench timing, profiler timestamps)"});
+    r.push_back({"unordered-container",
+                 std::regex(R"(\bunordered_(map|set|multimap|multiset)\b)",
+                            flags),
+                 {},
+                 "unspecified iteration order can leak into traces, wire "
+                 "bytes, or aggregation and break bit-identity; use "
+                 "std::map or a sorted vector"});
+    r.push_back({"float-accumulation",
+                 std::regex(R"(\bfloat\b)", flags),
+                 {"tensor", "sim"},
+                 "single-precision in a reduce path; accumulate in double "
+                 "or tensor/exact_sum (f32 belongs only in wire codecs)"});
+    r.push_back({"raw-new",
+                 std::regex(R"(\bnew\b|\bdelete\b)", flags),
+                 {},
+                 "raw new/delete; use std::make_unique / containers so "
+                 "ownership survives exceptions and fault injection"});
+    return r;
+  }();
+  return kRules;
+}
+
+// Replaces comments and string/char literal *contents* with spaces,
+// preserving line structure so findings report real line numbers.
+// Handles //, /* */, "..." with escapes, '...', and R"delim(...)delim".
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_terminator;  // )delim" for the active raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t open = src.find('(', i + 2);
+          if (open == std::string::npos) break;  // malformed; give up
+          raw_terminator =
+              ")" + src.substr(i + 2, open - (i + 2)) + "\"";
+          for (std::size_t j = i; j <= open; ++j) out[j] = ' ';
+          i = open;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (src.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          for (std::size_t j = 0; j < raw_terminator.size(); ++j) {
+            out[i + j] = ' ';
+          }
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool path_has_dir(const std::string& rel_path,
+                  const std::vector<std::string>& dirs) {
+  if (dirs.empty()) return true;
+  for (const std::string& d : dirs) {
+    if (rel_path.rfind(d + "/", 0) == 0 ||
+        rel_path.find("/" + d + "/") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// `delete` has one legitimate token-level use the regex cannot see:
+// deleted special members (`= delete`). `new` has none.
+bool is_deleted_function(const std::string& line, std::size_t match_pos,
+                         const std::string& match) {
+  if (match.rfind("delete", 0) != 0) return false;
+  for (std::size_t i = match_pos; i-- > 0;) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t') continue;
+    return c == '=';
+  }
+  return false;
+}
+
+void scan_content(const std::string& rel_path, const std::string& content,
+                  std::vector<Finding>& findings) {
+  const std::string stripped = strip_comments_and_strings(content);
+  std::istringstream lines(stripped);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    for (const Rule& rule : rules()) {
+      if (!path_has_dir(rel_path, rule.dir_filter)) continue;
+      auto begin =
+          std::sregex_iterator(line.begin(), line.end(), rule.pattern);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        if (is_deleted_function(line, static_cast<std::size_t>(it->position()),
+                                it->str())) {
+          continue;
+        }
+        findings.push_back({rel_path, line_no, rule.id, it->str()});
+        break;  // one finding per rule per line is enough
+      }
+    }
+  }
+}
+
+bool scannable_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool skip_dir(const std::string& name) {
+  return name.rfind("build", 0) == 0 || name == ".git" || name == "tests" ||
+         name == "fedlint_fixtures" || name == "bench_out" ||
+         name == ".github";
+}
+
+std::string to_rel(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+// Scans every source file under `start`; findings report paths relative
+// to `rel_root` (the repo root), so allowlist prefixes like
+// "src/support/stopwatch.h" match regardless of which subtree the file
+// was reached through.
+void scan_tree(const fs::path& start, const fs::path& rel_root,
+               std::vector<Finding>& findings) {
+  std::vector<fs::path> files;
+  auto it = fs::recursive_directory_iterator(start);
+  for (auto end = fs::recursive_directory_iterator(); it != end; ++it) {
+    if (it->is_directory()) {
+      if (skip_dir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (it->is_regular_file() && scannable_file(it->path())) {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "fedlint: cannot read " << file << "\n";
+      std::exit(2);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    scan_content(to_rel(file, rel_root), buffer.str(), findings);
+  }
+}
+
+struct AllowEntry {
+  std::string prefix;
+  std::string rule;
+  bool used = false;
+};
+
+std::vector<AllowEntry> load_allowlist(const std::string& path) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fedlint: cannot open allowlist " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    std::string prefix, rule, extra;
+    if (!(fields >> prefix)) continue;  // blank/comment line
+    if (!(fields >> rule) || (fields >> extra)) {
+      std::cerr << "fedlint: " << path << ":" << line_no
+                << ": expected `path-prefix rule-id`\n";
+      std::exit(2);
+    }
+    entries.push_back({prefix, rule, false});
+  }
+  return entries;
+}
+
+bool allowed(const Finding& f, std::vector<AllowEntry>& allowlist) {
+  bool hit = false;
+  for (AllowEntry& entry : allowlist) {
+    if (entry.rule == f.rule && f.path.rfind(entry.prefix, 0) == 0) {
+      entry.used = true;
+      hit = true;  // keep scanning so every matching entry is marked used
+    }
+  }
+  return hit;
+}
+
+// ---------------------------------------------------------------------
+// Self-test: seeded snippets, each annotated with the rules it must (or
+// must not) trigger. Runs the real scanner on in-memory content, so the
+// fixture pair in tools/fedlint_fixtures and this check exercise the
+// same engine.
+
+struct SelfCase {
+  std::string path;
+  std::string content;
+  std::set<std::string> expect;  // rule ids that must fire, exactly
+};
+
+int run_self_test() {
+  const std::vector<SelfCase> cases = {
+      {"src/a.cpp", "#include <random>\nstd::random_device rd;\n",
+       {"randomness"}},
+      {"src/b.cpp", "int x = rand();\nvoid f() { srand(7); }\n",
+       {"randomness"}},
+      {"src/c.cpp",
+       "auto t = std::chrono::system_clock::now();\n", {"wall-clock"}},
+      {"src/c2.cpp", "auto t = time(nullptr);\n", {"wall-clock"}},
+      {"src/d.cpp", "#include <unordered_map>\nstd::unordered_map<int,int> m;\n",
+       {"unordered-container"}},
+      {"tensor/e.cpp", "float acc = 0.f;\n", {"float-accumulation"}},
+      {"sim/e2.cpp", "float acc = 0.f;\n", {"float-accumulation"}},
+      // float outside tensor//sim/ is somebody else's policy problem.
+      {"src/e3.cpp", "float ok = 1.0f;\n", {}},
+      {"src/f.cpp", "int* p = new int(3);\ndelete p;\n", {"raw-new"}},
+      // Deleted special members are not raw delete.
+      {"src/g.cpp", "struct S { S(const S&) = delete; };\n", {}},
+      // Comments and strings never trigger.
+      {"src/h.cpp",
+       "// rand() and new and steady_clock in a comment\n"
+       "const char* s = \"std::random_device\";\n",
+       {}},
+      // A raw string holding banned tokens stays inert.
+      {"src/i.cpp", "const char* r = R\"(rand() new delete)\";\n", {}},
+      // The seeded-good snippet: deterministic idioms pass everything.
+      {"src/good.cpp",
+       "#include <map>\n#include <memory>\n"
+       "std::map<int, int> ordered;\n"
+       "auto owned = std::make_unique<int>(4);\n"
+       "// simulated clock, counter-keyed rng only\n",
+       {}},
+  };
+
+  int failures = 0;
+  for (const SelfCase& c : cases) {
+    std::vector<Finding> findings;
+    scan_content(c.path, c.content, findings);
+    std::set<std::string> fired;
+    for (const Finding& f : findings) fired.insert(f.rule);
+    if (fired != c.expect) {
+      ++failures;
+      std::cerr << "fedlint self-test FAIL: " << c.path << " fired {";
+      for (const auto& r : fired) std::cerr << r << ",";
+      std::cerr << "} expected {";
+      for (const auto& r : c.expect) std::cerr << r << ",";
+      std::cerr << "}\n";
+    }
+  }
+  if (failures) {
+    std::cerr << "fedlint --self-test: " << failures << " case(s) failed\n";
+    return 1;
+  }
+  std::cout << "fedlint --self-test: " << cases.size() << " cases ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fed::CliFlags flags(argc, argv);
+
+  if (flags.get_bool("list-rules", false)) {
+    for (const Rule& rule : rules()) {
+      std::cout << rule.id << ": " << rule.message << "\n";
+    }
+    return 0;
+  }
+  if (flags.get_bool("self-test", false)) return run_self_test();
+
+  const fs::path root = flags.get_string("root", ".");
+  if (!fs::is_directory(root)) {
+    std::cerr << "fedlint: --root " << root << " is not a directory\n";
+    return 2;
+  }
+
+  std::vector<AllowEntry> allowlist;
+  if (const auto path = flags.get_optional_string("allowlist")) {
+    allowlist = load_allowlist(*path);
+  }
+
+  std::vector<Finding> findings;
+  // Repo layout: scan the source dirs (tests/ and build*/ stay out by
+  // construction). Arbitrary --root (fixtures): scan everything under it.
+  if (fs::is_directory(root / "src")) {
+    for (const char* dir : {"src", "bench", "tools", "examples"}) {
+      if (fs::is_directory(root / dir)) scan_tree(root / dir, root, findings);
+    }
+  } else {
+    scan_tree(root, root, findings);
+  }
+
+  int status = 0;
+  std::size_t reported = 0;
+  for (const Finding& f : findings) {
+    if (allowed(f, allowlist)) continue;
+    std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] `"
+              << f.excerpt << "` — ";
+    for (const Rule& rule : rules()) {
+      if (rule.id == f.rule) std::cerr << rule.message;
+    }
+    std::cerr << "\n";
+    ++reported;
+    status = 1;
+  }
+  for (const AllowEntry& entry : allowlist) {
+    if (!entry.used) {
+      std::cerr << "fedlint: unused allowlist entry `" << entry.prefix << " "
+                << entry.rule << "` — remove it (the allowlist only shrinks)\n";
+      status = 1;
+    }
+  }
+  if (status == 0) {
+    std::cout << "fedlint: clean\n";
+  } else {
+    std::cerr << "fedlint: " << reported << " finding(s)\n";
+  }
+  return status;
+}

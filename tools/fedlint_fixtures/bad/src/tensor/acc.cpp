@@ -1,0 +1,11 @@
+// fedlint bad fixture: float accumulation inside a tensor/ reduce path.
+
+namespace fixture {
+
+inline float reduce(const float* xs, int n) {  // float-accumulation
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += xs[i];
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// fedlint good fixture: deterministic idioms only. The fedlint_good
+// ctest asserts this tree lints clean with no allowlist.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+// Counter-keyed randomness: the draw depends only on (seed, round,
+// device), the way support/rng.h streams do.
+inline std::uint64_t keyed_draw(std::uint64_t seed, std::uint64_t round,
+                                std::uint64_t device) {
+  std::uint64_t x = seed ^ (round * 0x9e3779b97f4a7c15ull) ^ device;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Ordered containers and owned allocation pass every rule.
+struct Registry {
+  std::map<int, double> ordered;
+  std::unique_ptr<std::vector<double>> owned =
+      std::make_unique<std::vector<double>>();
+};
+
+// Double accumulation is the reduce-path contract.
+inline double reduce(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc;
+}
+
+}  // namespace fixture

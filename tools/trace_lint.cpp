@@ -393,7 +393,7 @@ void lint_chrome(const std::string& path) {
     check_nesting(tid, tid_events);
   }
   for (const char* required : {"run", "round", "exchange"}) {
-    if (!span_names.count(required)) {
+    if (!span_names.contains(required)) {
       fail(path + ": missing required span \"" + std::string(required) +
            "\"");
     }
@@ -537,7 +537,7 @@ Exposition lint_metrics(const std::string& path) {
     if (line[0] == '#') continue;  // other comments are legal
     MetricSample sample = parse_sample_line(where, line);
     const std::string family = family_of(exposition, sample.name);
-    if (!exposition.types.count(family)) {
+    if (!exposition.types.contains(family)) {
       fail(where + ": sample for \"" + sample.name +
            "\" has no preceding TYPE line");
     }
