@@ -41,6 +41,15 @@ BenchOptions parse_options(const CliFlags& flags) {
   options.recovery.deadline_ms = flags.get_double("deadline-ms", 0.0);
   options.recovery.quorum = flags.get_double("quorum", 1.0);
   options.shards = static_cast<std::size_t>(flags.get_int("shards", 1));
+  if (auto churn = flags.get_optional_string("churn")) {
+    options.churn = parse_churn_config(*churn);  // fail fast, too
+  }
+  options.checkpoint_every =
+      static_cast<std::size_t>(flags.get_int("checkpoint-every", 0));
+  options.checkpoint_dir = flags.get_string("checkpoint-dir", "");
+  options.checkpoint_retain =
+      static_cast<std::size_t>(flags.get_int("checkpoint-retain", 3));
+  options.resume = flags.get_bool("resume", false);
   options.quick = flags.get_bool("quick", false);
   for (const auto& name : flags.unused()) {
     log_warn() << "ignoring unknown flag --" << name;
@@ -74,6 +83,20 @@ void apply_common_flags(TrainerConfig& config, const BenchOptions& options) {
     log_info() << "sharded aggregation: " << config.shards
                << " aggregator shards per round";
   }
+  config.churn = options.churn;
+  if (config.churn.any()) {
+    log_info() << "open-world churn: " << to_string(config.churn);
+  }
+  if (options.checkpoint_every > 0) {
+    config.checkpoint.dir = options.checkpoint_dir.empty()
+                                ? options.out_dir + "/checkpoints"
+                                : options.checkpoint_dir;
+    config.checkpoint.every = options.checkpoint_every;
+    config.checkpoint.retain = options.checkpoint_retain;
+    log_info() << "checkpointing to " << config.checkpoint.dir << " every "
+               << config.checkpoint.every << " round(s), keeping "
+               << config.checkpoint.retain << " generation(s)";
+  }
   apply_faults(config, options);
 }
 
@@ -92,9 +115,15 @@ TraceCapture::TraceCapture(const BenchOptions& options) {
   if (!options.trace_out.empty()) {
     RotationPolicy rotation;
     rotation.max_bytes = options.trace_rotate_mb * 1024 * 1024;
-    sink_ = std::make_unique<JsonlTraceSink>(options.trace_out, rotation);
+    // A resumed run appends a new segment after the crashed run's lines
+    // instead of truncating them away (trace_lint understands the
+    // multi-segment layout).
+    const auto mode = options.resume ? JsonlTraceSink::OpenMode::kAppend
+                                     : JsonlTraceSink::OpenMode::kTruncate;
+    sink_ = std::make_unique<JsonlTraceSink>(options.trace_out, rotation, mode);
     tracer_ = std::make_unique<TraceObserver>(*sink_);
     log_info() << "streaming round traces to " << options.trace_out
+               << (options.resume ? " (append)" : "")
                << (rotation.max_bytes
                        ? " (rotating past " +
                              std::to_string(options.trace_rotate_mb) + " MiB)"
@@ -102,6 +131,16 @@ TraceCapture::TraceCapture(const BenchOptions& options) {
   }
   if (!options.metrics_out.empty()) {
     registry_ = std::make_unique<MetricsRegistry>();
+    if (options.resume) {
+      // Counters are cumulative: carry the crashed run's totals forward
+      // so the scrape series never regresses across the crash.
+      const std::size_t seeded =
+          seed_counters_from_exposition(*registry_, options.metrics_out);
+      if (seeded > 0) {
+        log_info() << "carried " << seeded << " counter sample(s) over from "
+                   << options.metrics_out;
+      }
+    }
     metrics_ = std::make_unique<MetricsObserver>(*registry_);
     exporter_ = std::make_unique<MetricsExporter>(
         *registry_, options.metrics_out, options.metrics_every);

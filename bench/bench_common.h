@@ -24,6 +24,16 @@
 //   --quorum Q       aggregate once Q of selected devices reported (0, 1]
 //   --shards N       aggregator shards per round (sim/sharded.h); any
 //                    value yields a bit-identical history (default 1)
+//   --churn SPEC     open-world device churn (sim/churn.h), e.g.
+//                    arrive=0.05,depart=0.02,initial=100,min_active=10
+//   --checkpoint-every N  write a durable FPC1 checkpoint every N rounds
+//                    (core/checkpoint.h); 0 = off
+//   --checkpoint-dir DIR  where checkpoints land (default
+//                    <out-dir>/checkpoints)
+//   --checkpoint-retain G newest checkpoint generations kept (default 3)
+//   --resume         continue a crashed run: --trace-out appends instead
+//                    of truncating and --metrics-out counters carry over
+//                    from the published exposition file
 //   --quick          very small run for smoke-testing the harness
 // and prints the paper-style series table to stdout plus a CSV per figure.
 
@@ -39,6 +49,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "sim/churn.h"
 #include "support/cli.h"
 #include "support/csv.h"
 
@@ -59,6 +70,11 @@ struct BenchOptions {
   FaultProfile faults;                  // all-zero = clean channel
   RecoveryConfig recovery;              // retry/deadline/quorum policy
   std::size_t shards = 1;               // aggregator shards per round
+  ChurnConfig churn;                    // all-zero = closed world
+  std::size_t checkpoint_every = 0;     // 0 = checkpointing off
+  std::string checkpoint_dir;           // empty = <out-dir>/checkpoints
+  std::size_t checkpoint_retain = 3;    // newest generations kept
+  bool resume = false;                  // append-mode traces/metrics
   bool quick = false;
 };
 

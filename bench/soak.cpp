@@ -1,0 +1,329 @@
+// Long-horizon soak: checkpointed crash recovery under continuous churn
+// and channel faults.
+//
+// Two runs of the same federation, same seed:
+//
+//   reference   every round uninterrupted, no checkpoints
+//   segmented   checkpointing every K rounds; the server is killed
+//               mid-aggregation at each --crash-at round (ServerCrashed,
+//               core/checkpoint.h), then resumed from the newest FPC1
+//               checkpoint — by default two kill/resume cycles
+//
+// The segmented run's combined TrainHistory (every RoundMetrics field,
+// bit for bit, plus the final parameter vector) must equal the
+// reference's; the process exits non-zero when it does not. Open-world
+// churn (--churn) and channel faults (--faults) stay on the whole time,
+// so recovery is exercised against a moving population and a lossy
+// channel, not a lab-clean run. Results land in BENCH_soak.json.
+//
+//   ./soak [--rounds 2000] [--checkpoint-every 25] [--crash-at 800,1400]
+//          [--churn arrive=0.03,depart=0.03] [--faults drop=0.05,...]
+//          [--trace-out soak.jsonl] [--metrics-out soak.prom]
+//
+// With --trace-out, segment 1 truncates and the resumed segments append,
+// so the file carries one {"run":...} header per segment — lint it with
+// trace_lint --jsonl --checkpoint. --profile-out is not supported here:
+// a killed segment leaves flow spans dangling by design.
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/checkpoint.h"
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "obs/observer.h"
+#include "support/json.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace fed;
+using namespace fed::bench;
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool bits_equal(const std::optional<double>& a,
+                const std::optional<double>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  return !a || bits_equal(*a, *b);
+}
+
+// Bit-exact RoundMetrics comparison; returns a description of the first
+// divergence (empty = identical).
+std::string compare_histories(const TrainHistory& reference,
+                              const TrainHistory& segmented) {
+  if (reference.rounds.size() != segmented.rounds.size()) {
+    return "round count " + std::to_string(segmented.rounds.size()) +
+           " != " + std::to_string(reference.rounds.size());
+  }
+  for (std::size_t i = 0; i < reference.rounds.size(); ++i) {
+    const RoundMetrics& a = reference.rounds[i];
+    const RoundMetrics& b = segmented.rounds[i];
+    const auto diverged = [&](const char* field) {
+      return "round " + std::to_string(a.round) + ": " + field + " diverged";
+    };
+    if (a.round != b.round) return diverged("round id");
+    if (!bits_equal(a.mu, b.mu)) return diverged("mu");
+    if (a.contributors != b.contributors) return diverged("contributors");
+    if (a.stragglers != b.stragglers) return diverged("stragglers");
+    if (!bits_equal(a.train_loss, b.train_loss)) return diverged("train_loss");
+    if (!bits_equal(a.train_accuracy, b.train_accuracy)) {
+      return diverged("train_accuracy");
+    }
+    if (!bits_equal(a.test_accuracy, b.test_accuracy)) {
+      return diverged("test_accuracy");
+    }
+    if (!bits_equal(a.grad_variance, b.grad_variance)) {
+      return diverged("grad_variance");
+    }
+    if (!bits_equal(a.dissimilarity_b, b.dissimilarity_b)) {
+      return diverged("dissimilarity_b");
+    }
+    if (!bits_equal(a.mean_gamma, b.mean_gamma)) return diverged("mean_gamma");
+  }
+  if (reference.final_parameters.size() != segmented.final_parameters.size()) {
+    return "final parameter dimension diverged";
+  }
+  for (std::size_t i = 0; i < reference.final_parameters.size(); ++i) {
+    if (!bits_equal(reference.final_parameters[i],
+                    segmented.final_parameters[i])) {
+      return "final parameters diverged at index " + std::to_string(i);
+    }
+  }
+  return "";
+}
+
+// Per-segment churn/fault/checkpoint totals summed from the traces.
+struct SegmentStats {
+  std::size_t rounds = 0;
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  std::size_t departs = 0;          // selected devices that left mid-round
+  std::size_t failed_devices = 0;
+  std::size_t retries = 0;
+  std::size_t checkpoint_writes = 0;
+  std::uint64_t checkpoint_bytes = 0;
+
+  void accumulate(const TraceCollector& collector) {
+    for (const RoundTrace& t : collector.traces()) {
+      ++rounds;
+      arrivals += t.arrivals;
+      departures += t.departures;
+      departs += t.faults.departs;
+      failed_devices += t.faults.failed_devices;
+      retries += t.faults.retries;
+      if (t.checkpoint.written) {
+        ++checkpoint_writes;
+        checkpoint_bytes += t.checkpoint.bytes;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::vector<double> crash_at_raw =
+      flags.get_double_list("crash-at", {});
+  const std::string json_path =
+      flags.get_string("bench-json", "BENCH_soak.json");
+  BenchOptions options = parse_options(flags);
+  if (!options.profile_out.empty()) {
+    std::cerr << "soak: --profile-out is not supported (crashed segments "
+                 "leave dangling flow spans)\n";
+    return 2;
+  }
+
+  // Soak defaults: a couple thousand rounds, periodic checkpoints,
+  // continuous churn and channel faults. Every knob yields to an
+  // explicit flag.
+  const std::size_t rounds =
+      options.rounds_override ? options.rounds_override : 2000;
+  if (options.checkpoint_every == 0) options.checkpoint_every = 25;
+  if (!options.churn.any()) {
+    options.churn = parse_churn_config("arrive=0.03,depart=0.03");
+  }
+  if (!options.faults.any()) {
+    options.faults = parse_fault_profile("drop=0.05,corrupt=0.01");
+  }
+  std::vector<std::size_t> crashes;
+  for (double c : crash_at_raw) crashes.push_back(static_cast<std::size_t>(c));
+  if (crashes.empty()) {
+    crashes = {rounds * 2 / 5, rounds * 7 / 10};  // two kill/resume cycles
+  }
+  for (const std::size_t c : crashes) {
+    if (c <= options.checkpoint_every || c > rounds) {
+      std::cerr << "soak: --crash-at " << c << " must lie in ("
+                << options.checkpoint_every << ", " << rounds
+                << "] so a checkpoint exists to resume from\n";
+      return 2;
+    }
+  }
+
+  print_banner("soak",
+               "long-horizon crash/recovery soak under churn + faults");
+
+  // A small federation so thousands of rounds stay cheap: the soak
+  // stresses the recovery machinery, not the solver.
+  SyntheticConfig synth = synthetic_config(1.0, 1.0, options.seed);
+  const FederatedDataset data = make_synthetic(synth);
+  LogisticRegression model(synth.input_dim, synth.num_classes);
+
+  TrainerConfig config = fedprox_config(/*mu=*/1.0);
+  config.rounds = rounds;
+  config.devices_per_round = std::min<std::size_t>(10, data.num_clients());
+  config.systems.epochs = 2;
+  config.systems.straggler_fraction = 0.5;
+  config.eval_every = 10;  // thousands of rounds; evaluate sparsely
+  config.seed = options.seed;
+  apply_common_flags(config, options);
+
+  // A rerun must not resume from a previous invocation's generations:
+  // wipe stale checkpoints so the first segment always starts cold.
+  if (config.checkpoint.enabled()) {
+    std::error_code ec;
+    std::filesystem::remove_all(config.checkpoint.dir, ec);
+  }
+
+  // Reference: the same run, never interrupted, no checkpoint I/O.
+  TrainHistory reference;
+  double reference_seconds = 0.0;
+  {
+    TrainerConfig ref = config;
+    ref.checkpoint = {};
+    Stopwatch timer;
+    reference = Trainer(model, data, ref).run();
+    reference_seconds = timer.seconds();
+  }
+
+  // Segmented: run, crash, resume from the newest checkpoint — repeated
+  // per --crash-at round — then run to completion.
+  std::vector<SegmentStats> segments;
+  std::vector<std::size_t> resumed_from;
+  std::vector<double> recovery_seconds;
+  TrainHistory segmented;
+  double segmented_seconds = 0.0;
+  {
+    Stopwatch timer;
+    std::size_t next_crash = 0;
+    bool finished = false;
+    while (!finished) {
+      const bool first_segment = next_crash == 0;
+      TrainerConfig seg = config;
+      seg.crash.at_round =
+          next_crash < crashes.size() ? crashes[next_crash] : 0;
+
+      BenchOptions seg_options = options;
+      seg_options.resume = !first_segment;
+      TraceCapture capture(seg_options);
+      TraceCollector collector;
+
+      std::optional<std::string> checkpoint;
+      if (!first_segment) {
+        Stopwatch recovery_timer;
+        checkpoint = latest_checkpoint(seg.checkpoint.dir);
+        if (!checkpoint) {
+          std::cerr << "soak: no checkpoint to resume from under "
+                    << seg.checkpoint.dir << "\n";
+          return 2;
+        }
+        // Charge discovery + load + validation as the recovery latency.
+        const CheckpointState state = load_checkpoint_state(*checkpoint);
+        recovery_seconds.push_back(recovery_timer.seconds());
+        resumed_from.push_back(static_cast<std::size_t>(state.next_round) - 1);
+      }
+
+      Trainer trainer(model, data, seg);
+      if (capture.observer()) trainer.add_observer(*capture.observer());
+      trainer.add_observer(collector);
+      try {
+        segmented =
+            first_segment ? trainer.run() : trainer.resume(*checkpoint);
+        finished = true;
+      } catch (const ServerCrashed& crash) {
+        std::cout << "  segment " << segments.size() + 1
+                  << ": server crashed mid-aggregation at round "
+                  << crash.round() << " (as planned)\n";
+        ++next_crash;
+      }
+      SegmentStats stats;
+      stats.accumulate(collector);
+      segments.push_back(stats);
+    }
+    segmented_seconds = timer.seconds();
+  }
+
+  const std::string divergence = compare_histories(reference, segmented);
+  const bool identical = divergence.empty();
+
+  TablePrinter table({"segment", "rounds", "arrivals", "departures",
+                      "mid-round departs", "retries", "ckpt writes"});
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const SegmentStats& st = segments[s];
+    table.add_row({std::to_string(s + 1), std::to_string(st.rounds),
+                   std::to_string(st.arrivals), std::to_string(st.departures),
+                   std::to_string(st.departs), std::to_string(st.retries),
+                   std::to_string(st.checkpoint_writes)});
+  }
+  std::cout << table.render();
+  for (std::size_t i = 0; i < resumed_from.size(); ++i) {
+    std::cout << "  resume " << i + 1 << ": crashed at round " << crashes[i]
+              << ", recovered from checkpointed round " << resumed_from[i]
+              << " in " << TablePrinter::fmt(recovery_seconds[i] * 1e3, 3)
+              << " ms\n";
+  }
+  std::cout << (identical
+                    ? "history: segmented run is bit-identical to the "
+                      "uninterrupted reference\n"
+                    : "history MISMATCH: " + divergence + "\n");
+
+  JsonObject out;
+  out["benchmark"] = "soak_crash_resume";
+  out["rounds"] = rounds;
+  out["seed"] = options.seed;
+  out["checkpoint_every"] = options.checkpoint_every;
+  out["churn"] = to_string(options.churn);
+  out["faults"] = to_string(options.faults);
+  JsonArray crash_rounds;
+  for (const std::size_t c : crashes) crash_rounds.push_back(c);
+  out["crash_rounds"] = std::move(crash_rounds);
+  JsonArray resumes;
+  for (std::size_t i = 0; i < resumed_from.size(); ++i) {
+    JsonObject r;
+    r["crashed_at"] = crashes[i];
+    r["resumed_from"] = resumed_from[i];
+    r["recovery_seconds"] = recovery_seconds[i];
+    resumes.push_back(JsonValue(std::move(r)));
+  }
+  out["resumes"] = std::move(resumes);
+  JsonArray segment_rows;
+  for (const SegmentStats& st : segments) {
+    JsonObject row;
+    row["rounds"] = st.rounds;
+    row["arrivals"] = st.arrivals;
+    row["departures"] = st.departures;
+    row["mid_round_departs"] = st.departs;
+    row["failed_devices"] = st.failed_devices;
+    row["retries"] = st.retries;
+    row["checkpoint_writes"] = st.checkpoint_writes;
+    row["checkpoint_bytes"] = st.checkpoint_bytes;
+    segment_rows.push_back(JsonValue(std::move(row)));
+  }
+  out["segments"] = std::move(segment_rows);
+  out["reference_wall_seconds"] = reference_seconds;
+  out["segmented_wall_seconds"] = segmented_seconds;
+  out["history_bit_identical"] = identical;
+  if (!identical) out["divergence"] = divergence;
+  save_json_file(json_path, JsonValue(std::move(out)));
+  std::cout << "wrote " << json_path << "\n";
+
+  return identical ? 0 : 1;
+}

@@ -8,14 +8,19 @@
 //                [--trace-out trace.jsonl] [--trace-rotate-mb N]
 //                [--profile-out run.trace.json]
 //                [--metrics-out metrics.prom] [--metrics-every N]
+//                [--churn arrive=0.05,depart=0.05]
+//                [--checkpoint-every N] [--checkpoint-dir DIR]
+//                [--checkpoint-retain G] [--resume]
 //
 // The channel/server flags are the shared bench set (bench/bench_common.h):
 // quickstart only adds --mu/--rounds/--stragglers on top.
 
 #include <iostream>
+#include <stdexcept>
 
 #include "bench_common.h"
 #include "comm/transport.h"
+#include "core/checkpoint.h"
 #include "core/registry.h"
 #include "core/trainer.h"
 #include "obs/health.h"
@@ -99,10 +104,33 @@ int main(int argc, char** argv) {
   trainer.add_observer(health);
   if (capture.observer()) trainer.add_observer(*capture.observer());
 
+  // --resume continues from the newest FPC1 checkpoint in the checkpoint
+  // dir (telemetry already switched to append mode in TraceCapture);
+  // without one there is nothing to continue and bailing out loudly
+  // beats silently retraining from round 0.
   TrainHistory history;
   try {
-    history = trainer.run();
+    if (options.resume) {
+      if (!config.checkpoint.enabled()) {
+        std::cerr << "--resume requires --checkpoint-every/--checkpoint-dir\n";
+        return 1;
+      }
+      const auto latest = latest_checkpoint(config.checkpoint.dir);
+      if (!latest) {
+        std::cerr << "--resume: no checkpoint found in "
+                  << config.checkpoint.dir << "\n";
+        return 1;
+      }
+      history = trainer.resume(*latest);
+    } else {
+      history = trainer.run();
+    }
   } catch (const HealthError& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  } catch (const std::runtime_error& error) {
+    // e.g. a fingerprint mismatch: resuming under different
+    // determinism-relevant settings than the checkpointed run.
     std::cerr << error.what() << "\n";
     return 1;
   }

@@ -105,6 +105,7 @@ const char* to_string(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kDuplicate: return "duplicate";
     case FaultEvent::Kind::kDeviceFailed: return "device_failed";
     case FaultEvent::Kind::kQuorumDrop: return "quorum_drop";
+    case FaultEvent::Kind::kDepart: return "depart";
     case FaultEvent::Kind::kRoundDegraded: return "round_degraded";
   }
   return "?";

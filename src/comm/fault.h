@@ -73,6 +73,7 @@ struct FaultEvent {
     kDuplicate,      // an accepted update was delivered twice
     kDeviceFailed,   // a device produced no accepted update this round
     kQuorumDrop,     // a successful update arrived after the quorum cutoff
+    kDepart,         // a selected device left the federation mid-round
     kRoundDegraded,  // the round aggregated zero updates; w was kept
   };
 

@@ -19,6 +19,25 @@ class AdaptiveMu {
 
   double mu() const { return mu_; }
 
+  // The mutable controller state, for checkpointing (core/checkpoint.h):
+  // restoring a snapshot makes future update() calls bit-identical to a
+  // controller that never stopped. step/patience stay config-side.
+  struct State {
+    double mu = 0.0;
+    double last_loss = 0.0;
+    bool has_last = false;
+    std::size_t consecutive_decreases = 0;
+  };
+  State state() const {
+    return {mu_, last_loss_, has_last_, consecutive_decreases_};
+  }
+  void restore(const State& s) {
+    mu_ = s.mu;
+    last_loss_ = s.last_loss;
+    has_last_ = s.has_last;
+    consecutive_decreases_ = s.consecutive_decreases;
+  }
+
  private:
   double mu_;
   double step_;
@@ -47,6 +66,19 @@ class DissimilarityMu {
   double update(double measured_b);
 
   double mu() const { return mu_; }
+
+  // Checkpoint snapshot of the mutable EMA state (see AdaptiveMu::State).
+  struct State {
+    double mu = 0.0;
+    double b_sq_ema = 1.0;
+    bool has_estimate = false;
+  };
+  State state() const { return {mu_, b_sq_ema_, has_estimate_}; }
+  void restore(const State& s) {
+    mu_ = s.mu;
+    b_sq_ema_ = s.b_sq_ema;
+    has_estimate_ = s.has_estimate;
+  }
 
  private:
   double coefficient_;

@@ -1,0 +1,196 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/csv.h"
+
+namespace fed {
+
+namespace {
+
+// Incremental FNV-1a mixer for the config fingerprint. Doubles mix via
+// their bit patterns so the fingerprint is exact, not approximate.
+class Fingerprint {
+ public:
+  void mix(std::uint64_t v) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+std::string checkpoint_name(std::uint64_t round) {
+  // Zero-padded so lexicographic filename order is round order; 12
+  // digits cover any soak we will ever run.
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%012llu.fpc",
+                static_cast<unsigned long long>(round));
+  return name;
+}
+
+// Parses `ckpt-<round>.fpc`; returns false for any other filename.
+bool parse_checkpoint_name(const std::string& name, std::uint64_t& round) {
+  constexpr const char* kPrefix = "ckpt-";
+  constexpr const char* kSuffix = ".fpc";
+  if (name.size() <= 5 + 4 || name.rfind(kPrefix, 0) != 0 ||
+      name.substr(name.size() - 4) != kSuffix) {
+    return false;
+  }
+  const std::string digits = name.substr(5, name.size() - 9);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  round = std::stoull(digits);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const TrainerConfig& config,
+                                 std::size_t population,
+                                 std::size_t parameter_count) {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(config.algorithm));
+  fp.mix(config.mu);
+  fp.mix(config.adaptive_mu.enabled);
+  fp.mix(config.adaptive_mu.initial_mu);
+  fp.mix(config.adaptive_mu.step);
+  fp.mix(static_cast<std::uint64_t>(config.adaptive_mu.patience));
+  fp.mix(config.theory_mu.enabled);
+  fp.mix(config.theory_mu.coefficient);
+  fp.mix(config.theory_mu.max_mu);
+  fp.mix(config.theory_mu.smoothing);
+  fp.mix(static_cast<std::uint64_t>(config.rounds));
+  fp.mix(static_cast<std::uint64_t>(config.devices_per_round));
+  fp.mix(static_cast<std::uint64_t>(config.batch_size));
+  fp.mix(config.learning_rate);
+  fp.mix(config.clip_norm);
+  fp.mix(config.systems.straggler_fraction);
+  fp.mix(static_cast<std::uint64_t>(config.systems.epochs));
+  fp.mix(config.systems.profile.enabled);
+  fp.mix(config.systems.profile.speed_sigma_log);
+  fp.mix(static_cast<std::uint64_t>(config.sampling));
+  fp.mix(config.seed);
+  fp.mix(static_cast<std::uint64_t>(config.eval_every));
+  fp.mix(config.measure_gamma);
+  fp.mix(config.measure_dissimilarity);
+  fp.mix(config.faults.drop);
+  fp.mix(config.faults.corrupt);
+  fp.mix(config.faults.duplicate);
+  fp.mix(config.faults.delay_ms);
+  fp.mix(static_cast<std::uint64_t>(config.recovery.max_retries));
+  fp.mix(config.recovery.deadline_ms);
+  fp.mix(config.recovery.backoff_base_ms);
+  fp.mix(config.recovery.backoff_factor);
+  fp.mix(config.recovery.quorum);
+  fp.mix(config.churn.arrive);
+  fp.mix(config.churn.depart);
+  fp.mix(static_cast<std::uint64_t>(config.churn.initial));
+  fp.mix(static_cast<std::uint64_t>(config.churn.min_active));
+  fp.mix(static_cast<std::uint64_t>(config.first_round));
+  fp.mix(static_cast<std::uint64_t>(population));
+  fp.mix(static_cast<std::uint64_t>(parameter_count));
+  return fp.value();
+}
+
+void save_checkpoint_state(const std::string& path,
+                           const CheckpointState& state) {
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string::npos) ensure_directory(path.substr(0, slash));
+  const WireBuffer frame = encode_checkpoint_state(state);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("save_checkpoint_state: cannot open " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+    if (!out) {
+      throw std::runtime_error("save_checkpoint_state: write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("save_checkpoint_state: rename to " + path +
+                             " failed: " + ec.message());
+  }
+}
+
+CheckpointState load_checkpoint_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_checkpoint_state: cannot open " + path);
+  }
+  WireBuffer frame((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return decode_checkpoint_state(frame);
+}
+
+std::vector<std::string> list_checkpoints(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::uint64_t round = 0;
+    if (parse_checkpoint_name(entry.path().filename().string(), round)) {
+      found.emplace_back(round, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [round, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+std::optional<std::string> latest_checkpoint(const std::string& dir) {
+  auto paths = list_checkpoints(dir);
+  if (paths.empty()) return std::nullopt;
+  return paths.back();
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointConfig config)
+    : config_(std::move(config)) {
+  if (!config_.enabled()) {
+    throw std::invalid_argument(
+        "CheckpointWriter: config has no directory or zero cadence");
+  }
+  if (config_.retain == 0) config_.retain = 1;
+  ensure_directory(config_.dir);
+}
+
+CheckpointWriter::WriteInfo CheckpointWriter::write(
+    const CheckpointState& state) {
+  // next_round is the first round a resume executes, so the file is
+  // named for the last *completed* round — the id the trace reports.
+  const std::uint64_t completed = state.next_round - 1;
+  WriteInfo info;
+  info.path = config_.dir + "/" + checkpoint_name(completed);
+  save_checkpoint_state(info.path, state);
+  std::error_code ec;
+  info.bytes = std::filesystem::file_size(info.path, ec);
+  auto generations = list_checkpoints(config_.dir);
+  while (generations.size() > config_.retain) {
+    std::filesystem::remove(generations.front(), ec);
+    generations.erase(generations.begin());
+  }
+  info.generations = generations.size();
+  return info;
+}
+
+}  // namespace fed

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/checkpoint.h"
 #include "core/dissimilarity.h"
 #include "core/feddane.h"
 #include "obs/observer.h"
@@ -21,6 +22,7 @@ RoundDriver::RoundDriver(const Model& model, const FederatedDataset& data,
                          const TrainerConfig& config,
                          const Transport& transport,
                          const ClientRuntime& runtime, ThreadPool* pool,
+                         DeviceRegistry* registry,
                          std::span<TrainingObserver* const> observers)
     : model_(model),
       data_(data),
@@ -28,6 +30,7 @@ RoundDriver::RoundDriver(const Model& model, const FederatedDataset& data,
       transport_(transport),
       runtime_(runtime),
       pool_(pool),
+      registry_(registry),
       observers_(observers),
       pk_(data.client_weights()) {}
 
@@ -107,6 +110,36 @@ RoundDriver::DeviceOutcome RoundDriver::exchange_with_recovery(
   return oc;
 }
 
+RoundDriver::DeviceOutcome RoundDriver::departed_outcome(
+    const ModelBroadcast& broadcast, std::size_t round,
+    std::size_t device) const {
+  const RecoveryConfig& recovery = config_.recovery;
+  const auto per_attempt =
+      static_cast<std::uint64_t>(broadcast_wire_size(broadcast));
+  DeviceOutcome oc;
+  oc.departed = true;
+  oc.events.push_back({FaultEvent::Kind::kDepart, round, device, 0,
+                       "device left the federation mid-round"});
+  double backoff = recovery.backoff_base_ms;
+  for (std::size_t attempt = 0; attempt <= recovery.max_retries; ++attempt) {
+    ++oc.attempts;
+    ++oc.drops;
+    oc.bytes_down += per_attempt;
+    oc.events.push_back({FaultEvent::Kind::kDrop, round, device, attempt,
+                         "device departed; update lost in flight"});
+    if (attempt < recovery.max_retries) {
+      oc.arrival_ms += backoff;
+      backoff *= recovery.backoff_factor;
+    }
+  }
+  std::ostringstream detail;
+  detail << "no accepted update after " << oc.attempts
+         << " attempts (device departed)";
+  oc.events.push_back({FaultEvent::Kind::kDeviceFailed, round, device,
+                       oc.attempts, detail.str()});
+  return oc;
+}
+
 RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
                                                 Vector& w) {
   RoundOutput out;
@@ -120,15 +153,47 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
   // unconditionally — wire bytes must not depend on profiler state.
   const TraceContext round_ctx = make_round_trace_context(config_.seed, t + 1);
 
+  // 0. Churn: draw this round's arrivals and departures. Arrivals are
+  //    selectable immediately; departing devices stay selectable but fail
+  //    mid-round (departed_outcome). With an inert registry everything
+  //    below reduces to the closed-world path bit for bit.
+  const bool open_world = registry_ != nullptr && registry_->config().any();
+  std::uint64_t arrivals_before = 0;
+  if (open_world) {
+    arrivals_before = registry_->total_arrivals();
+    registry_->begin_round(t + 1);
+    trace.active_devices = registry_->active_count();
+    trace.arrivals = static_cast<std::size_t>(registry_->total_arrivals() -
+                                              arrivals_before);
+    trace.departures = registry_->departing_count();
+  } else {
+    trace.active_devices = pk_.size();
+  }
+
   // 1. Select devices (deterministic in (seed, round); identical across
-  //    algorithms under the same seed).
+  //    algorithms under the same seed). Open-world selection draws over
+  //    the live population only — the same (seed, round) stream, with
+  //    weights re-indexed to the active ids.
   // 2. Assign systems budgets (who straggles, how much work each gets).
   std::vector<std::size_t> selected;
   std::vector<DeviceBudget> budgets;
   {
     Span span("sampling", "phase", "round", static_cast<std::int64_t>(t + 1));
-    selected = select_devices(config_.sampling, pk_,
-                              config_.devices_per_round, config_.seed, t);
+    if (open_world) {
+      const std::vector<std::size_t>& active = registry_->active_devices();
+      std::vector<double> active_pk(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        active_pk[i] = pk_[active[i]];
+      }
+      const std::size_t per_round =
+          std::min(config_.devices_per_round, active.size());
+      selected = select_devices(config_.sampling, active_pk, per_round,
+                                config_.seed, t);
+      for (std::size_t& idx : selected) idx = active[idx];
+    } else {
+      selected = select_devices(config_.sampling, pk_,
+                                config_.devices_per_round, config_.seed, t);
+    }
     std::vector<std::size_t> train_sizes(selected.size());
     for (std::size_t i = 0; i < selected.size(); ++i) {
       train_sizes[i] = data_.clients[selected[i]].train.size();
@@ -195,7 +260,14 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
                                .parameters = w,
                                .correction = {}};
       if (!corrections.empty()) broadcast.correction = corrections[i];
-      outcomes[i] = exchange_with_recovery(broadcast, t + 1, selected[i]);
+      if (open_world && registry_->departing(selected[i])) {
+        // The device left between selection and its exchange: nothing
+        // touches the transport (so fault streams for other devices are
+        // unperturbed), but every attempt's broadcast is charged and lost.
+        outcomes[i] = departed_outcome(broadcast, t + 1, selected[i]);
+      } else {
+        outcomes[i] = exchange_with_recovery(broadcast, t + 1, selected[i]);
+      }
       if (outcomes[i].accepted) {
         // The update's journey to aggregation: starts in the worker that
         // produced it, lands in the round thread's aggregate span (which
@@ -312,6 +384,14 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
       shard_stats[shard_of[i]].bytes_up += oc.record.bytes_up;
       up_deliveries += oc.record.duplicate ? 2 : 1;
     }
+    if (config_.crash.armed() && config_.crash.at_round == t + 1) {
+      // Fault injection for the soak harness: die mid-aggregation, after
+      // the partials are staged but before the global model moves — the
+      // worst spot for a naive recovery story. Nothing from this round
+      // commits (no on_round_end, no checkpoint, no registry end_round),
+      // so a resume from the last checkpoint replays it bit-identically.
+      throw ServerCrashed(t + 1);
+    }
     updated = server.reduce(t + 1, w, round_ctx);
   }
   trace.aggregate_seconds = phase_timer.seconds();
@@ -357,6 +437,7 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
     if (oc.accepted && oc.record.duplicate) ++faults.duplicates;
     if (oc.quorum_dropped) ++faults.quorum_drops;
     if (!oc.accepted && !oc.quorum_dropped) ++faults.failed_devices;
+    if (oc.departed) ++faults.departs;
   }
   faults.retries = faults.attempts - selected.size();
   // Charged deliveries: contributor updates (twice when duplicated) plus
@@ -390,6 +471,9 @@ RoundDriver::RoundOutput RoundDriver::run_round(std::size_t t, double mu,
     }
     if (count > 0) m.mean_gamma = total / static_cast<double>(count);
   }
+
+  // 7. Churn: the departures drawn at the top of the round take effect.
+  if (open_world) registry_->end_round(t + 1);
   return out;
 }
 

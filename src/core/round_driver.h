@@ -25,9 +25,14 @@ namespace fed {
 class RoundDriver {
  public:
   // All references must outlive the driver; `pool` must be non-null.
+  // `registry` may be null (or inert) for the closed-world fast path;
+  // when it carries a live churn schedule, run_round drives it:
+  // begin_round before selection, end_round after the trace is filled,
+  // selection/sharding/quorum over the live population only.
   RoundDriver(const Model& model, const FederatedDataset& data,
               const TrainerConfig& config, const Transport& transport,
               const ClientRuntime& runtime, ThreadPool* pool,
+              DeviceRegistry* registry,
               std::span<TrainingObserver* const> observers);
 
   struct RoundOutput {
@@ -60,6 +65,7 @@ class RoundDriver {
     std::size_t timeouts = 0;
     std::uint64_t bytes_down = 0;       // broadcast bytes, charged per attempt
     std::uint64_t failed_bytes_up = 0;  // corrupt arrivals, charged per attempt
+    bool departed = false;              // device left the federation mid-round
     double arrival_ms = 0.0;  // simulated delays + backoffs through last attempt
     std::vector<FaultEvent> events;     // in attempt order
   };
@@ -73,12 +79,21 @@ class RoundDriver {
                                        std::size_t round,
                                        std::size_t device) const;
 
+  // The churn analogue of total exchange failure: a departing device
+  // never touches the transport — every attempt's broadcast bytes are
+  // charged and lost (a crashed phone mid-exchange), so the outcome
+  // folds into the existing failed-device/straggler accounting and all
+  // byte/retry invariants hold unchanged.
+  DeviceOutcome departed_outcome(const ModelBroadcast& broadcast,
+                                 std::size_t round, std::size_t device) const;
+
   const Model& model_;
   const FederatedDataset& data_;
   const TrainerConfig& config_;
   const Transport& transport_;
   const ClientRuntime& runtime_;
   ThreadPool* pool_;
+  DeviceRegistry* registry_;  // may be null: closed-world
   std::span<TrainingObserver* const> observers_;
   std::vector<double> pk_;  // client weights p_k, fixed for the run
 };

@@ -1,14 +1,18 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "comm/client_runtime.h"
 #include "comm/transport.h"
+#include "core/checkpoint.h"
 #include "core/round_driver.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
 #include "optim/sgd.h"
+#include "support/serialize.h"
 #include "support/stopwatch.h"
 
 namespace fed {
@@ -115,7 +119,29 @@ void Trainer::add_observer(TrainingObserver& observer) {
   observers_.push_back(&observer);
 }
 
-TrainHistory Trainer::run() {
+TrainHistory Trainer::run() { return run_impl(nullptr); }
+
+TrainHistory Trainer::resume(const std::string& checkpoint_path) {
+  Span span("resume", "trainer");
+  const CheckpointState state = load_checkpoint_state(checkpoint_path);
+  const std::uint64_t expected = config_fingerprint(
+      config_, data_.num_clients(), model_.parameter_count());
+  if (state.fingerprint != expected) {
+    throw std::runtime_error(
+        "Trainer::resume: checkpoint config fingerprint mismatch — the "
+        "checkpoint was produced under different determinism-relevant "
+        "settings (threads/shards/transport may differ; everything else "
+        "must match)");
+  }
+  const std::size_t total_end = config_.first_round + config_.rounds;
+  if (state.next_round == 0 || state.next_round > total_end + 1) {
+    throw std::runtime_error(
+        "Trainer::resume: checkpoint round lies outside this run");
+  }
+  return run_impl(&state);
+}
+
+TrainHistory Trainer::run_impl(const CheckpointState* restored) {
   run_started_ = true;
   std::unique_ptr<ThreadPool> owned_pool;
   ThreadPool* pool = external_pool_;
@@ -126,8 +152,22 @@ TrainHistory Trainer::run() {
 
   const std::size_t d = model_.parameter_count();
 
+  // The first `t` the round loop executes and the run's last round id.
+  // A resumed run continues at the checkpointed boundary; everything
+  // before it is already in the restored history.
+  const std::size_t total_end = config_.first_round + config_.rounds;
+  const std::size_t start_t =
+      restored ? static_cast<std::size_t>(restored->next_round) - 1
+               : config_.first_round;
+
   Vector w(d);
-  if (config_.initial_parameters) {
+  if (restored) {
+    if (restored->parameters.size() != d) {
+      throw std::runtime_error(
+          "Trainer::resume: checkpoint parameter dimension mismatch");
+    }
+    w = restored->parameters;
+  } else if (config_.initial_parameters) {
     if (config_.initial_parameters->size() != d) {
       throw std::invalid_argument(
           "Trainer: initial_parameters dimension mismatch");
@@ -150,20 +190,49 @@ TrainHistory Trainer::run() {
                    config_.theory_mu.smoothing);
     mu = theory->mu();
   }
+  if (restored) {
+    mu = restored->mu;
+    if (adaptive && restored->has_adaptive) {
+      adaptive->restore({restored->adaptive_mu, restored->adaptive_last_loss,
+                         restored->adaptive_has_last,
+                         static_cast<std::size_t>(
+                             restored->adaptive_consecutive_decreases)});
+    }
+    if (theory && restored->has_theory) {
+      theory->restore({restored->theory_mu, restored->theory_b_sq_ema,
+                       restored->theory_has_estimate});
+    }
+  }
+
+  // Open-world population (sim/churn.h). The departure floor is raised
+  // to devices_per_round so selection always has a full candidate set.
+  std::optional<DeviceRegistry> registry;
+  if (config_.churn.any()) {
+    ChurnConfig churn = config_.churn;
+    churn.min_active = std::max(churn.min_active, config_.devices_per_round);
+    registry.emplace(data_.num_clients(), churn, config_.seed);
+    if (restored) {
+      registry->restore(restored->active, restored->churn_arrivals,
+                        restored->churn_departures);
+    }
+  }
 
   TrainHistory history;
   history.rounds.reserve(config_.rounds + 1);
+  if (restored) history.rounds = restored->rounds;
 
   if (!observers_.empty()) {
     RunInfo info;
     info.algorithm = to_string(config_.algorithm);
-    info.rounds = config_.rounds;
-    info.first_round = config_.first_round;
+    info.rounds = total_end - start_t;  // rounds this run will execute
+    // Resumed: the checkpointed round — the first executed round is + 1.
+    info.first_round = restored ? start_t : config_.first_round;
     info.devices_per_round = config_.devices_per_round;
     info.num_clients = data_.num_clients();
     info.parameter_count = d;
     info.threads = pool->size();
     info.seed = config_.seed;
+    info.resumed = restored != nullptr;
     for (auto* o : observers_) o->on_run_start(info);
   }
 
@@ -184,10 +253,16 @@ TrainHistory Trainer::run() {
         std::move(transport), config_.faults, config_.seed);
   }
   RoundDriver driver(model_, data_, config_, *transport, runtime, pool,
-                     observers_);
+                     registry ? &*registry : nullptr, observers_);
+
+  std::optional<CheckpointWriter> checkpoints;
+  if (config_.checkpoint.enabled()) checkpoints.emplace(config_.checkpoint);
+  const std::uint64_t fingerprint =
+      config_fingerprint(config_, data_.num_clients(), d);
 
   // Round 0 metrics: the initial model (the paper's plots start at w^0).
-  {
+  // A resumed run already recorded it — its history carries over whole.
+  if (!restored) {
     Span round_span("round", "trainer", "round",
                     static_cast<std::int64_t>(config_.first_round));
     Stopwatch round_timer;
@@ -204,8 +279,7 @@ TrainHistory Trainer::run() {
     if (theory && m.dissimilarity_b) mu = theory->update(*m.dissimilarity_b);
   }
 
-  for (std::size_t step = 0; step < config_.rounds; ++step) {
-    const std::size_t t = config_.first_round + step;
+  for (std::size_t t = start_t; t < total_end; ++t) {
     Span round_span("round", "trainer", "round",
                     static_cast<std::int64_t>(t + 1));
     Stopwatch round_timer;
@@ -213,19 +287,72 @@ TrainHistory Trainer::run() {
     RoundDriver::RoundOutput out = driver.run_round(t, mu, w);
 
     const bool do_eval =
-        ((t + 1) % config_.eval_every == 0) || (step + 1 == config_.rounds);
+        ((t + 1) % config_.eval_every == 0) || (t + 1 == total_end);
     if (do_eval) driver.evaluate(w, out.metrics, out.trace);
-    out.trace.round_seconds = round_timer.seconds();
     history.rounds.push_back(out.metrics);
-    for (auto* o : observers_) {
-      o->on_round_end(history.rounds.back(), out.trace);
-    }
 
+    // Move mu for the next round *before* the checkpoint is cut, so the
+    // snapshot carries exactly the state the next round would see. The
+    // reorder relative to on_round_end is observably safe: the emitted
+    // metrics/trace only carry this round's mu, never the next one's.
     if (adaptive && out.metrics.evaluated()) {
       mu = adaptive->update(*out.metrics.train_loss);
     }
     if (theory && out.metrics.evaluated() && out.metrics.dissimilarity_b) {
       mu = theory->update(*out.metrics.dissimilarity_b);
+    }
+
+    if (checkpoints && (t + 1) % config_.checkpoint.every == 0) {
+      Span ckpt_span("checkpoint", "trainer", "round",
+                     static_cast<std::int64_t>(t + 1));
+      Stopwatch ckpt_timer;
+      CheckpointState state;
+      state.fingerprint = fingerprint;
+      state.seed = config_.seed;
+      state.next_round = t + 2;  // 1-based id of the next round to execute
+      state.first_round = config_.first_round;
+      state.mu = mu;
+      if (adaptive) {
+        const AdaptiveMu::State s = adaptive->state();
+        state.has_adaptive = true;
+        state.adaptive_mu = s.mu;
+        state.adaptive_last_loss = s.last_loss;
+        state.adaptive_has_last = s.has_last;
+        state.adaptive_consecutive_decreases = s.consecutive_decreases;
+      }
+      if (theory) {
+        const DissimilarityMu::State s = theory->state();
+        state.has_theory = true;
+        state.theory_mu = s.mu;
+        state.theory_b_sq_ema = s.b_sq_ema;
+        state.theory_has_estimate = s.has_estimate;
+      }
+      state.parameters = w;
+      state.population = data_.num_clients();
+      if (registry) {
+        state.churn_arrivals = registry->total_arrivals();
+        state.churn_departures = registry->total_departures();
+        state.active = registry->pack_active();
+      } else {
+        // Closed world: everyone is always live.
+        state.active.assign((data_.num_clients() + 7) / 8, 0);
+        for (std::size_t k = 0; k < data_.num_clients(); ++k) {
+          state.active[k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
+        }
+      }
+      state.rounds = history.rounds;
+      const CheckpointWriter::WriteInfo written = checkpoints->write(state);
+      out.trace.checkpoint.written = true;
+      out.trace.checkpoint.round = t + 1;
+      out.trace.checkpoint.bytes = written.bytes;
+      out.trace.checkpoint.generations = written.generations;
+      out.trace.checkpoint.retain = config_.checkpoint.retain;
+      out.trace.checkpoint.write_seconds = ckpt_timer.seconds();
+    }
+
+    out.trace.round_seconds = round_timer.seconds();
+    for (auto* o : observers_) {
+      o->on_round_end(history.rounds.back(), out.trace);
     }
   }
 

@@ -41,6 +41,7 @@
 #include "data/dataset.h"
 #include "nn/module.h"
 #include "optim/solver.h"
+#include "sim/churn.h"
 #include "sim/client.h"
 #include "sim/sampling.h"
 #include "sim/systems.h"
@@ -74,6 +75,29 @@ struct TheoryMuConfig {
   double coefficient = 0.05;  // mu = coefficient * (B^2 - 1)
   double max_mu = 10.0;
   double smoothing = 0.5;
+};
+
+// Periodic durable checkpoints (core/checkpoint.h): every `every`
+// completed rounds the trainer atomically writes an FPC1 snapshot under
+// `dir` and keeps the newest `retain` generations. Checkpointing draws
+// no randomness and runs after the round's observers' inputs are fixed,
+// so enabling it never changes TrainHistory.
+struct CheckpointConfig {
+  std::string dir;        // empty = checkpointing disabled
+  std::size_t every = 0;  // rounds between checkpoints (0 = disabled)
+  std::size_t retain = 3; // newest generations kept on disk
+
+  bool enabled() const { return !dir.empty() && every > 0; }
+};
+
+// Deterministic server-crash injection (core/checkpoint.h): the round
+// driver throws ServerCrashed mid-aggregation of round `at_round`
+// (1-based, matching the trace's round ids), losing that round's work
+// exactly like a real server death. 0 disarms the plan.
+struct CrashPlan {
+  std::size_t at_round = 0;
+
+  bool armed() const { return at_round > 0; }
 };
 
 struct TrainerConfig {
@@ -119,6 +143,16 @@ struct TrainerConfig {
   // retries with simulated exponential backoff, a delivery deadline, and
   // quorum aggregation. Defaults are inert on a faultless channel.
   RecoveryConfig recovery;
+  // Open-world device churn (sim/churn.h): devices arrive and depart on
+  // a deterministic (seed, round, device)-keyed schedule; sampling and
+  // quorum recompute over the live population each round. An all-zero
+  // config keeps the closed world, bit-for-bit. The trainer raises the
+  // departure floor to devices_per_round so selection stays well-defined.
+  ChurnConfig churn;
+  // Periodic durable checkpoints + deterministic server-crash injection
+  // (core/checkpoint.h). Both are inert by default.
+  CheckpointConfig checkpoint;
+  CrashPlan crash;
   // Warm start: when set, training begins from these parameters instead
   // of the model's seeded initialization (e.g. a loaded checkpoint).
   // `first_round` offsets the round counter so selection/straggler/batch
@@ -176,6 +210,8 @@ struct TrainHistory {
   bool diverged(double threshold = 1e4) const;
 };
 
+struct CheckpointState;  // support/serialize.h (the FPC1 payload)
+
 class Trainer {
  public:
   // `model` and `data` must outlive the trainer. An external ThreadPool
@@ -185,6 +221,15 @@ class Trainer {
 
   TrainHistory run();
 
+  // Crash recovery: loads an FPC1 checkpoint (core/checkpoint.h),
+  // validates its config fingerprint against this trainer's config, and
+  // continues the run from the checkpointed round boundary. The combined
+  // history (checkpointed rounds + resumed rounds) is bit-identical to a
+  // run that never stopped — regardless of the thread or shard count of
+  // either segment. Throws std::runtime_error on a missing, corrupt, or
+  // config-mismatched checkpoint.
+  TrainHistory resume(const std::string& checkpoint_path);
+
   // Registers an observer for run/round/client telemetry (obs/observer.h).
   // Observers are invoked from the round thread only, in registration
   // order, and must outlive run(). They cannot affect training results.
@@ -193,6 +238,8 @@ class Trainer {
   void add_observer(TrainingObserver& observer);
 
  private:
+  TrainHistory run_impl(const CheckpointState* restored);
+
   const Model& model_;
   const FederatedDataset& data_;
   TrainerConfig config_;

@@ -1,10 +1,12 @@
 #include "obs/exposition.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -150,6 +152,88 @@ std::string text_exposition(const MetricsSnapshot& snapshot) {
 
 std::string text_exposition(const MetricsRegistry& registry) {
   return text_exposition(registry.snapshot());
+}
+
+namespace {
+
+// Inverse of append_labels/escape_label_value for one `{...}` selector.
+// Returns false on any malformed syntax (caller skips the line).
+bool parse_label_set(const std::string& text, MetricLabels& out) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const auto eq = text.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= text.size() ||
+        text[eq + 1] != '"') {
+      return false;
+    }
+    std::string key = text.substr(i, eq - i);
+    std::string value;
+    std::size_t j = eq + 2;
+    for (; j < text.size() && text[j] != '"'; ++j) {
+      char c = text[j];
+      if (c == '\\' && j + 1 < text.size()) {
+        ++j;
+        c = text[j] == 'n' ? '\n' : text[j];
+      }
+      value.push_back(c);
+    }
+    if (j >= text.size()) return false;  // unterminated value
+    out.emplace_back(std::move(key), std::move(value));
+    i = j + 1;
+    if (i < text.size()) {
+      if (text[i] != ',') return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t seed_counters_from_exposition(MetricsRegistry& registry,
+                                          const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;  // no prior exposition — nothing to carry over
+  std::set<std::string> counter_families;
+  std::size_t seeded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only `# TYPE <name> counter` matters; HELP and comments skip.
+      std::istringstream meta(line);
+      std::string hash, kind, name, type;
+      if (meta >> hash >> kind >> name >> type && kind == "TYPE" &&
+          type == "counter") {
+        counter_families.insert(name);
+      }
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) continue;
+    std::string selector = line.substr(0, space);
+    const std::string value_text = line.substr(space + 1);
+    MetricLabels labels;
+    const auto brace = selector.find('{');
+    if (brace != std::string::npos) {
+      if (selector.back() != '}') continue;
+      if (!parse_label_set(
+              selector.substr(brace + 1, selector.size() - brace - 2),
+              labels)) {
+        continue;
+      }
+      selector.resize(brace);
+    }
+    if (!counter_families.count(selector)) continue;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(value_text.c_str(), &end, 10);
+    if (errno != 0 || end == value_text.c_str() || *end != '\0') continue;
+    registry.counter(selector, std::move(labels))
+        .add(static_cast<std::uint64_t>(value));
+    ++seeded;
+  }
+  return seeded;
 }
 
 void write_text_exposition(const std::string& path,

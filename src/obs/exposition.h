@@ -67,6 +67,20 @@ std::string text_exposition(const MetricsRegistry& registry);
 void write_text_exposition(const std::string& path,
                            const MetricsRegistry& registry);
 
+// Resume support: re-reads a previously published exposition file and
+// pre-adds every *counter* sample into `registry`, so a resumed run's
+// counters continue from the crashed run's totals instead of restarting
+// at zero (counters are cumulative — a scraper must never observe a
+// regression across a crash/resume boundary). Only families declared
+// `# TYPE <name> counter` are seeded; gauges and histograms are
+// last-write-wins / distribution state and are rebuilt by the resumed
+// run itself. Returns the number of samples seeded; a missing file is
+// not an error (returns 0) so first runs and resumes share one code
+// path. Malformed lines are skipped rather than fatal — the file may
+// predate this build.
+std::size_t seed_counters_from_exposition(MetricsRegistry& registry,
+                                          const std::string& path);
+
 // Rewrites `path` every `every` completed rounds (and once more at run
 // end, so the file always ends on the final state). The exporter only
 // reads the registry — pair it with a MetricsObserver registered

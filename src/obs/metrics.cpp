@@ -280,9 +280,16 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry)
       degraded_rounds_(registry.counter("fed_comm_rounds_degraded_total")),
       shard_merges_(registry.counter("fed_shard_merges_total")),
       shard_partial_bytes_(registry.counter("fed_shard_partial_bytes_total")),
+      churn_arrivals_(registry.counter("fed_churn_arrivals_total")),
+      churn_departures_(registry.counter("fed_churn_departures_total")),
+      checkpoint_writes_(registry.counter("fed_checkpoint_writes_total")),
+      checkpoint_bytes_(registry.counter("fed_checkpoint_bytes_total")),
       mu_(registry.gauge("fed_mu")),
       train_loss_(registry.gauge("fed_train_loss")),
       round_(registry.gauge("fed_round")),
+      active_devices_(registry.gauge("fed_active_devices")),
+      checkpoint_last_round_(registry.gauge("fed_checkpoint_last_round")),
+      checkpoint_generations_(registry.gauge("fed_checkpoint_generations")),
       round_seconds_(registry.histogram("fed_round_seconds")),
       solve_seconds_(registry.histogram("fed_client_solve_seconds")) {
   // Pre-register every fault kind so on_fault is a lock-free add and the
@@ -311,6 +318,20 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry)
                     "Shard partials merged at the aggregation root.");
   registry.set_help("fed_shard_partial_bytes_total",
                     "FPS1 wire bytes moved shard -> root.");
+  registry.set_help("fed_churn_arrivals_total",
+                    "Devices that joined the open-world federation.");
+  registry.set_help("fed_churn_departures_total",
+                    "Devices that left the open-world federation.");
+  registry.set_help("fed_checkpoint_writes_total",
+                    "Durable FPC1 checkpoints written.");
+  registry.set_help("fed_checkpoint_bytes_total",
+                    "Encoded FPC1 bytes made durable.");
+  registry.set_help("fed_active_devices",
+                    "Live device population this round.");
+  registry.set_help("fed_checkpoint_last_round",
+                    "Round captured by the newest checkpoint.");
+  registry.set_help("fed_checkpoint_generations",
+                    "Checkpoint files currently retained on disk.");
   registry.set_help("fed_mu", "Active FedProx proximal coefficient.");
   registry.set_help("fed_train_loss", "Last evaluated global training loss.");
   registry.set_help("fed_round", "Most recently completed round index.");
@@ -320,20 +341,32 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry)
 }
 
 void MetricsObserver::on_fault(const FaultEvent& event) {
+  // Buffered, not committed: a round the server never finishes must not
+  // leak partial counts into the registry (see the class comment).
   const auto k = static_cast<std::size_t>(event.kind);
-  if (k < kFaultKinds) faults_by_kind_[k]->add();
+  if (k < kFaultKinds) ++pending_.faults[k];
 }
 
 void MetricsObserver::on_client_result(std::size_t round,
                                        const ClientResult& result) {
   (void)round;
-  clients_.add();
-  if (result.straggler) stragglers_.add();
-  solve_seconds_.observe(result.solve_seconds);
+  ++pending_.clients;
+  if (result.straggler) ++pending_.stragglers;
+  pending_.solve_seconds.push_back(result.solve_seconds);
 }
 
 void MetricsObserver::on_round_end(const RoundMetrics& metrics,
                                    const RoundTrace& trace) {
+  // Commit the round's buffered observations together with its
+  // trace-derived counters — one atomic-enough unit per completed round.
+  for (std::size_t k = 0; k < kFaultKinds; ++k) {
+    if (pending_.faults[k]) faults_by_kind_[k]->add(pending_.faults[k]);
+  }
+  clients_.add(pending_.clients);
+  stragglers_.add(pending_.stragglers);
+  for (double s : pending_.solve_seconds) solve_seconds_.observe(s);
+  pending_ = PendingRound{};
+
   rounds_.add();
   bytes_up_.add(trace.bytes_up);
   bytes_down_.add(trace.bytes_down);
@@ -343,8 +376,18 @@ void MetricsObserver::on_round_end(const RoundMetrics& metrics,
     shard_partial_bytes_.add(s.partial_bytes);
   }
   if (trace.degraded) degraded_rounds_.add();
+  churn_arrivals_.add(trace.arrivals);
+  churn_departures_.add(trace.departures);
+  if (trace.checkpoint.written) {
+    checkpoint_writes_.add();
+    checkpoint_bytes_.add(trace.checkpoint.bytes);
+    checkpoint_last_round_.set(static_cast<double>(trace.checkpoint.round));
+    checkpoint_generations_.set(
+        static_cast<double>(trace.checkpoint.generations));
+  }
   mu_.set(metrics.mu);
   round_.set(static_cast<double>(metrics.round));
+  active_devices_.set(static_cast<double>(trace.active_devices));
   if (metrics.train_loss) train_loss_.set(*metrics.train_loss);
   round_seconds_.observe(trace.round_seconds);
 }

@@ -207,9 +207,22 @@ std::string metric_selector(const std::string& name,
 //              FaultEvent kind, pre-registered so scrapers see zeros),
 //              fed_comm_retries_total, fed_comm_rounds_degraded_total,
 //              fed_shard_merges_total (root merges of shard partials),
-//              fed_shard_partial_bytes_total (FPS1 shard -> root bytes)
-//   gauges     fed_mu, fed_train_loss (last evaluated), fed_round
+//              fed_shard_partial_bytes_total (FPS1 shard -> root bytes),
+//              fed_churn_arrivals_total, fed_churn_departures_total,
+//              fed_checkpoint_writes_total, fed_checkpoint_bytes_total
+//   gauges     fed_mu, fed_train_loss (last evaluated), fed_round,
+//              fed_active_devices, fed_checkpoint_last_round,
+//              fed_checkpoint_generations
 //   histograms fed_round_seconds, fed_client_solve_seconds
+//
+// Commit discipline: the mid-round hooks (on_fault, on_client_result)
+// only buffer into a per-round pending block; everything is committed to
+// the registry at on_round_end, atomically with the round's trace-fed
+// counters. A round the server never finishes — a crash mid-aggregation
+// (core/checkpoint.h) — therefore commits nothing, so exposition
+// counters always reconcile exactly with the summed per-round trace
+// lines, across crashes and resumes (trace_lint's cross-check relies on
+// this).
 class MetricsObserver final : public TrainingObserver {
  public:
   explicit MetricsObserver(MetricsRegistry& registry);
@@ -232,12 +245,28 @@ class MetricsObserver final : public TrainingObserver {
   Counter& degraded_rounds_;
   Counter& shard_merges_;
   Counter& shard_partial_bytes_;
+  Counter& churn_arrivals_;
+  Counter& churn_departures_;
+  Counter& checkpoint_writes_;
+  Counter& checkpoint_bytes_;
   std::array<Counter*, kFaultKinds> faults_by_kind_;  // indexed by Kind
   Gauge& mu_;
   Gauge& train_loss_;
   Gauge& round_;
+  Gauge& active_devices_;
+  Gauge& checkpoint_last_round_;
+  Gauge& checkpoint_generations_;
   Histogram& round_seconds_;
   Histogram& solve_seconds_;
+
+  // The current round's uncommitted observations (round thread only).
+  struct PendingRound {
+    std::array<std::uint64_t, kFaultKinds> faults{};
+    std::uint64_t clients = 0;
+    std::uint64_t stragglers = 0;
+    std::vector<double> solve_seconds;
+  };
+  PendingRound pending_;
 };
 
 // Snapshots a pool's per-worker counters into utilization gauges:

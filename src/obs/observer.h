@@ -41,6 +41,9 @@ struct RunInfo {
   std::size_t parameter_count = 0;
   std::size_t threads = 0;         // pool size actually used
   std::uint64_t seed = 0;
+  // True when this run continues from an FPC1 checkpoint; first_round is
+  // then the checkpointed round (the first executed round is + 1).
+  bool resumed = false;
 };
 
 class TrainingObserver {

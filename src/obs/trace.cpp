@@ -43,6 +43,7 @@ JsonValue trace_to_json(const RoundTrace& trace) {
   faults["timeouts"] = trace.faults.timeouts;
   faults["duplicates"] = trace.faults.duplicates;
   faults["quorum_drops"] = trace.faults.quorum_drops;
+  faults["departs"] = trace.faults.departs;
   faults["failed_devices"] = trace.faults.failed_devices;
   faults["up_deliveries"] = trace.faults.up_deliveries;
   faults["delay_ms"] = trace.faults.delay_ms;
@@ -69,6 +70,18 @@ JsonValue trace_to_json(const RoundTrace& trace) {
   out["faults"] = std::move(faults);
   out["shards"] = std::move(shards);
   out["degraded"] = trace.degraded;
+  out["active_devices"] = trace.active_devices;
+  out["arrivals"] = trace.arrivals;
+  out["departures"] = trace.departures;
+  if (trace.checkpoint.written) {
+    JsonObject ckpt;
+    ckpt["round"] = trace.checkpoint.round;
+    ckpt["bytes"] = trace.checkpoint.bytes;
+    ckpt["generations"] = trace.checkpoint.generations;
+    ckpt["retain"] = trace.checkpoint.retain;
+    ckpt["write_s"] = trace.checkpoint.write_seconds;
+    out["checkpoint"] = std::move(ckpt);
+  }
   out["round_s"] = trace.round_seconds;
   out["bytes_down"] = trace.bytes_down;
   out["bytes_up"] = trace.bytes_up;

@@ -42,6 +42,7 @@ struct CommFaultStats {
   std::size_t timeouts = 0;       // attempts past the delivery deadline
   std::size_t duplicates = 0;     // accepted updates delivered twice
   std::size_t quorum_drops = 0;   // successes after the quorum cutoff
+  std::size_t departs = 0;        // selected devices that left mid-round
   std::size_t failed_devices = 0; // selected devices with no accepted update
   std::size_t up_deliveries = 0;  // update deliveries charged to bytes_up
   double delay_ms = 0.0;          // injected latency + backoff, simulated
@@ -60,6 +61,18 @@ struct ShardStat {
   std::uint64_t partial_bytes = 0;  // FPS1 partial-sum bytes shipped to root
 };
 
+// One durable checkpoint write (core/checkpoint.h), attached to the
+// round whose boundary it captured. `written` is false on rounds where
+// the cadence did not fire (the block is then omitted from the JSONL).
+struct CheckpointStat {
+  bool written = false;
+  std::size_t round = 0;        // last completed round the file captures
+  std::uint64_t bytes = 0;      // encoded FPC1 frame size
+  std::size_t generations = 0;  // files retained after pruning
+  std::size_t retain = 0;       // the configured retention bound
+  double write_seconds = 0.0;   // encode + temp write + rename, wall time
+};
+
 struct RoundTrace {
   std::size_t round = 0;
   bool evaluated = false;        // eval_seconds covers a real evaluation
@@ -69,6 +82,15 @@ struct RoundTrace {
   CommFaultStats faults;         // channel fault/recovery accounting
   std::vector<ShardStat> shards; // per-shard slice of this round's work
   bool degraded = false;         // aggregation saw zero updates; w was kept
+
+  // Open-world churn (sim/churn.h): the live population this round and
+  // the arrivals/mid-round departures its schedule produced. In a closed
+  // world active == the dataset's device count and the others stay 0.
+  std::size_t active_devices = 0;
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+
+  CheckpointStat checkpoint;     // durable snapshot, when the cadence fired
 
   // Phase wall times, in seconds, measured on the round thread.
   double sampling_seconds = 0.0;    // device selection + budget assignment

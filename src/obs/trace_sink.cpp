@@ -26,19 +26,33 @@ JsonObject run_info_json(const RunInfo& info) {
   run["parameter_count"] = info.parameter_count;
   run["threads"] = info.threads;
   run["seed"] = info.seed;
+  run["resumed"] = info.resumed;
   return run;
 }
 
 }  // namespace
 
 JsonlTraceSink::JsonlTraceSink(const std::string& path,
-                               RotationPolicy rotation)
+                               RotationPolicy rotation, OpenMode mode)
     : path_(path), rotation_(rotation), out_(nullptr) {
   const auto slash = path.find_last_of('/');
   if (slash != std::string::npos) {
     ensure_directory(path.substr(0, slash));
   }
-  file_.open(path, std::ios::trunc);
+  if (mode == OpenMode::kAppend) {
+    // Continue the crashed run's file: the carried-over bytes count
+    // against this generation's rotation budget, and a non-empty file
+    // already holds round lines, so rotation stays armed.
+    std::error_code ec;
+    const auto existing = std::filesystem::file_size(path, ec);
+    if (!ec && existing > 0) {
+      bytes_written_ = static_cast<std::size_t>(existing);
+      round_lines_ = 1;
+    }
+    file_.open(path, std::ios::app);
+  } else {
+    file_.open(path, std::ios::trunc);
+  }
   if (!file_) {
     throw std::runtime_error("JsonlTraceSink: cannot open " + path);
   }

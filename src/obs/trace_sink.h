@@ -54,9 +54,19 @@ struct RotationPolicy {
 // order across threads is the callers' problem.
 class JsonlTraceSink final : public TraceSink {
  public:
-  // Creates parent directories and truncates `path`.
+  // kTruncate starts a fresh trace; kAppend continues an existing one —
+  // the resumed run's header and rounds land after the crashed run's
+  // lines, and the existing bytes count against the rotation budget, so
+  // resuming never silently discards prior generations (it used to:
+  // reopening with kTruncate after a crash lost the whole pre-crash
+  // trace). A multi-segment file has one {"run":...} header per segment;
+  // tools/trace_lint understands the layout.
+  enum class OpenMode { kTruncate, kAppend };
+
+  // Creates parent directories and opens `path` per `mode`.
   explicit JsonlTraceSink(const std::string& path,
-                          RotationPolicy rotation = {});
+                          RotationPolicy rotation = {},
+                          OpenMode mode = OpenMode::kTruncate);
   // Streams to an externally-owned ostream (tests, stdout piping);
   // rotation does not apply.
   explicit JsonlTraceSink(std::ostream& out);

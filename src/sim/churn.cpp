@@ -1,0 +1,188 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/rng.h"
+
+namespace fed {
+
+namespace {
+
+void check_probability(const char* key, double value) {
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument("churn config: " + std::string(key) + "=" +
+                                std::to_string(value) + " outside [0, 1]");
+  }
+}
+
+void validate(const ChurnConfig& config) {
+  check_probability("arrive", config.arrive);
+  check_probability("depart", config.depart);
+}
+
+}  // namespace
+
+ChurnConfig parse_churn_config(const std::string& spec) {
+  ChurnConfig config;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("churn config: expected key=value, got \"" +
+                                  item + "\"");
+    }
+    const std::string key = item.substr(0, eq);
+    double value = 0.0;
+    try {
+      std::size_t used = 0;
+      value = std::stod(item.substr(eq + 1), &used);
+      if (used != item.size() - eq - 1) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("churn config: bad value in \"" + item +
+                                  "\"");
+    }
+    if (key == "arrive") {
+      config.arrive = value;
+    } else if (key == "depart") {
+      config.depart = value;
+    } else if (key == "initial") {
+      if (value < 0.0) throw std::invalid_argument("churn config: initial < 0");
+      config.initial = static_cast<std::size_t>(value);
+    } else if (key == "min_active") {
+      if (value < 0.0) {
+        throw std::invalid_argument("churn config: min_active < 0");
+      }
+      config.min_active = static_cast<std::size_t>(value);
+    } else {
+      throw std::invalid_argument(
+          "churn config: unknown key \"" + key +
+          "\" (expected arrive, depart, initial, or min_active)");
+    }
+  }
+  validate(config);
+  return config;
+}
+
+std::string to_string(const ChurnConfig& config) {
+  std::ostringstream out;
+  const auto emit = [&out](const char* key, double value) {
+    if (value <= 0.0) return;
+    if (out.tellp() > 0) out << ",";
+    out << key << "=" << value;
+  };
+  emit("arrive", config.arrive);
+  emit("depart", config.depart);
+  emit("initial", static_cast<double>(config.initial));
+  emit("min_active", static_cast<double>(config.min_active));
+  const std::string s = out.str();
+  return s.empty() ? "none" : s;
+}
+
+DeviceRegistry::DeviceRegistry(std::size_t population, ChurnConfig config,
+                               std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  validate(config_);
+  if (population == 0) {
+    throw std::invalid_argument("DeviceRegistry: empty population");
+  }
+  if (config_.initial > population || config_.min_active > population) {
+    throw std::invalid_argument(
+        "DeviceRegistry: initial/min_active exceed the population");
+  }
+  const std::size_t initially_active =
+      config_.initial == 0 ? population
+                           : std::max(config_.initial, config_.min_active);
+  active_.assign(population, 0);
+  for (std::size_t k = 0; k < initially_active; ++k) active_[k] = 1;
+  departing_.assign(population, 0);
+  rebuild_active_ids();
+}
+
+void DeviceRegistry::begin_round(std::uint64_t round) {
+  if (!config_.any()) return;
+  // One stream per (round, device); a single uniform draw decides the
+  // device's transition, so arrivals and departures never perturb each
+  // other and the schedule is independent of every other subsystem.
+  // Pass 1: arrivals (a device that arrives cannot depart the same round).
+  std::vector<std::uint8_t> arrived(active_.size(), 0);
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    if (active_[k]) continue;
+    Rng rng(seed_, {static_cast<std::uint64_t>(StreamKind::kChurn), round,
+                    static_cast<std::uint64_t>(k)});
+    if (rng.uniform() < config_.arrive) {
+      active_[k] = 1;
+      arrived[k] = 1;
+      ++total_arrivals_;
+    }
+  }
+  // Pass 2: departure draws over the devices active before this round,
+  // capped in ascending id order so the population never drops below the
+  // floor (the floor counts post-arrival actives, so an arrival can
+  // "make room" for a departure — still a pure function of the draws).
+  std::size_t live = 0;
+  for (std::size_t k = 0; k < active_.size(); ++k) live += active_[k] ? 1u : 0u;
+  const std::size_t floor = std::max<std::size_t>(config_.min_active, 1);
+  departing_ids_.clear();
+  for (std::size_t k = 0; k < active_.size() && live > floor; ++k) {
+    if (!active_[k] || arrived[k]) continue;
+    Rng rng(seed_, {static_cast<std::uint64_t>(StreamKind::kChurn), round,
+                    static_cast<std::uint64_t>(k)});
+    if (rng.uniform() < config_.depart) {
+      departing_[k] = 1;
+      departing_ids_.push_back(k);
+      --live;
+    }
+  }
+  rebuild_active_ids();
+}
+
+void DeviceRegistry::end_round(std::uint64_t round) {
+  (void)round;
+  if (!config_.any()) return;
+  if (departing_ids_.empty()) return;
+  for (std::size_t k : departing_ids_) {
+    active_[k] = 0;
+    departing_[k] = 0;
+    ++total_departures_;
+  }
+  departing_ids_.clear();
+  rebuild_active_ids();
+}
+
+void DeviceRegistry::rebuild_active_ids() {
+  active_ids_.clear();
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    if (active_[k]) active_ids_.push_back(k);
+  }
+}
+
+std::vector<std::uint8_t> DeviceRegistry::pack_active() const {
+  std::vector<std::uint8_t> packed((active_.size() + 7) / 8, 0);
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    if (active_[k]) packed[k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
+  }
+  return packed;
+}
+
+void DeviceRegistry::restore(std::span<const std::uint8_t> packed_active,
+                             std::uint64_t arrivals,
+                             std::uint64_t departures) {
+  if (packed_active.size() != (active_.size() + 7) / 8) {
+    throw std::invalid_argument(
+        "DeviceRegistry: packed active bitmask does not match population");
+  }
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    active_[k] = (packed_active[k / 8] >> (k % 8)) & 1u;
+    departing_[k] = 0;
+  }
+  departing_ids_.clear();
+  total_arrivals_ = arrivals;
+  total_departures_ = departures;
+  rebuild_active_ids();
+}
+
+}  // namespace fed

@@ -32,6 +32,7 @@ enum class StreamKind : std::uint64_t {
   kSolver = 7,           // any extra solver randomness
   kTest = 8,             // reserved for unit tests
   kFault = 9,            // channel fault injection (comm/fault.h)
+  kChurn = 10,           // open-world device arrivals/departures (sim/churn.h)
 };
 
 // xoshiro256++ engine with SplitMix64 key expansion. Satisfies

@@ -1,5 +1,6 @@
 #include "support/serialize.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <filesystem>
@@ -121,6 +122,10 @@ class ByteWriter {
     u64(v.size());
     raw(v.data(), v.size() * sizeof(double));
   }
+  void bytes(std::span<const std::uint8_t> v) {
+    u64(v.size());
+    raw(v.data(), v.size());
+  }
 
  private:
   void raw(const void* p, std::size_t n) {
@@ -169,6 +174,15 @@ class ByteReader {
     }
     Vector v(n);
     raw(v.data(), n * sizeof(double));
+    return v;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint64_t n = u64();
+    if (buffer_.size() - pos_ < n) {
+      throw std::runtime_error(std::string(what_) + ": truncated payload");
+    }
+    std::vector<std::uint8_t> v(n);
+    raw(v.data(), n);
     return v;
   }
   void finish() const {
@@ -366,6 +380,148 @@ ClientUpdate decode_update(std::span<const std::uint8_t> buffer) {
   m.result.update = r.doubles();
   r.finish();
   return m;
+}
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'F', 'P', 'C', '1'};
+constexpr std::uint64_t kCheckpointVersion = 1;
+
+// FNV-1a over a byte range: the checkpoint's integrity trailer. Bit
+// flips inside the float64 payload decode "successfully" (they just
+// change a double), so structural validation alone cannot catch a torn
+// or corrupted checkpoint file.
+std::uint64_t fnv1a_bytes(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+WireBuffer encode_checkpoint_state(const CheckpointState& state) {
+  WireBuffer out;
+  out.reserve(256 + state.parameters.size() * sizeof(double) +
+              state.active.size() + state.rounds.size() * 83);
+  ByteWriter w(out);
+  w.magic(kCheckpointMagic);
+  w.u64(kCheckpointVersion);
+  w.u64(state.fingerprint);
+  w.u64(state.seed);
+  w.u64(state.next_round);
+  w.u64(state.first_round);
+  w.f64(state.mu);
+  w.flag(state.has_adaptive);
+  w.f64(state.adaptive_mu);
+  w.f64(state.adaptive_last_loss);
+  w.flag(state.adaptive_has_last);
+  w.u64(state.adaptive_consecutive_decreases);
+  w.flag(state.has_theory);
+  w.f64(state.theory_mu);
+  w.f64(state.theory_b_sq_ema);
+  w.flag(state.theory_has_estimate);
+  w.doubles(state.parameters);
+  w.u64(state.population);
+  w.u64(state.churn_arrivals);
+  w.u64(state.churn_departures);
+  w.bytes(state.active);
+  w.u64(state.rounds.size());
+  for (const RoundMetrics& m : state.rounds) {
+    w.u64(m.round);
+    w.flag(m.evaluated());
+    w.f64(m.train_loss.value_or(0.0));
+    w.f64(m.train_accuracy.value_or(0.0));
+    w.f64(m.test_accuracy.value_or(0.0));
+    w.flag(m.dissimilarity_b.has_value());
+    w.f64(m.grad_variance.value_or(0.0));
+    w.f64(m.dissimilarity_b.value_or(0.0));
+    w.f64(m.mu);
+    w.flag(m.mean_gamma.has_value());
+    w.f64(m.mean_gamma.value_or(0.0));
+    w.u64(m.contributors);
+    w.u64(m.stragglers);
+  }
+  w.u64(fnv1a_bytes(out.data(), out.size()));
+  return out;
+}
+
+CheckpointState decode_checkpoint_state(std::span<const std::uint8_t> buffer) {
+  // Integrity first: the final u64 must be the FNV-1a of everything
+  // before it. Any mutation — truncation, bit flip, trailing garbage —
+  // invalidates the trailer before field parsing even starts.
+  constexpr std::size_t kTrailerBytes = 8;
+  if (buffer.size() < 4 + 8 + kTrailerBytes) {
+    throw std::runtime_error("decode_checkpoint_state: truncated");
+  }
+  const std::size_t body = buffer.size() - kTrailerBytes;
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, buffer.data() + body, kTrailerBytes);
+  if (stored != fnv1a_bytes(buffer.data(), body)) {
+    throw std::runtime_error("decode_checkpoint_state: checksum mismatch");
+  }
+  ByteReader r(buffer.first(body), "decode_checkpoint_state");
+  r.magic(kCheckpointMagic);
+  if (r.u64() != kCheckpointVersion) {
+    throw std::runtime_error("decode_checkpoint_state: unsupported version");
+  }
+  CheckpointState state;
+  state.fingerprint = r.u64();
+  state.seed = r.u64();
+  state.next_round = r.u64();
+  state.first_round = r.u64();
+  state.mu = r.f64();
+  state.has_adaptive = r.flag();
+  state.adaptive_mu = r.f64();
+  state.adaptive_last_loss = r.f64();
+  state.adaptive_has_last = r.flag();
+  state.adaptive_consecutive_decreases = r.u64();
+  state.has_theory = r.flag();
+  state.theory_mu = r.f64();
+  state.theory_b_sq_ema = r.f64();
+  state.theory_has_estimate = r.flag();
+  state.parameters = r.doubles();
+  state.population = r.u64();
+  state.churn_arrivals = r.u64();
+  state.churn_departures = r.u64();
+  state.active = r.bytes();
+  if (state.active.size() != (state.population + 7) / 8) {
+    throw std::runtime_error(
+        "decode_checkpoint_state: active bitmask does not match population");
+  }
+  const std::uint64_t num_rounds = r.u64();
+  state.rounds.reserve(std::min<std::uint64_t>(num_rounds, 1 << 20));
+  for (std::uint64_t i = 0; i < num_rounds; ++i) {
+    RoundMetrics m;
+    m.round = r.u64();
+    const bool evaluated = r.flag();
+    const double train_loss = r.f64();
+    const double train_accuracy = r.f64();
+    const double test_accuracy = r.f64();
+    if (evaluated) {
+      m.train_loss = train_loss;
+      m.train_accuracy = train_accuracy;
+      m.test_accuracy = test_accuracy;
+    }
+    const bool has_dissimilarity = r.flag();
+    const double grad_variance = r.f64();
+    const double dissimilarity_b = r.f64();
+    if (has_dissimilarity) {
+      m.grad_variance = grad_variance;
+      m.dissimilarity_b = dissimilarity_b;
+    }
+    m.mu = r.f64();
+    const bool has_gamma = r.flag();
+    const double mean_gamma = r.f64();
+    if (has_gamma) m.mean_gamma = mean_gamma;
+    m.contributors = r.u64();
+    m.stragglers = r.u64();
+    state.rounds.push_back(m);
+  }
+  r.finish();
+  return state;
 }
 
 TrainHistory load_history(const std::string& path) {

@@ -34,8 +34,26 @@
 //     u8 has_nonfinite | f64 nonfinite | ExactSum::kLimbs * u64 limbs
 //   so a shard's partial sum reaches the root bit-exactly — rounding
 //   happens once, at the root's finalize, never on the wire.
+//   CheckpointState  magic "FPC1" | u64 version
+//                    | u64 fingerprint | u64 seed
+//                    | u64 next_round | u64 first_round | f64 mu
+//                    | u8 has_adaptive | f64 mu | f64 last_loss
+//                    |   u8 has_last | u64 consecutive_decreases
+//                    | u8 has_theory | f64 mu | f64 b_sq_ema
+//                    |   u8 has_estimate
+//                    | u64 dim | dim * f64 parameters
+//                    | u64 population | u64 arrivals | u64 departures
+//                    | u64 mask_bytes | mask_bytes * u8 active bitmask
+//                    | u64 num_rounds | num_rounds * round record
+//                    | u64 fnv1a over every preceding byte
+//   (round record: u64 round | u8 evaluated | 3 * f64 eval metrics
+//    | u8 has_dissimilarity | 2 * f64 | f64 mu | u8 has_gamma | f64
+//    | u64 contributors | u64 stragglers — the history CSV schema,
+//    with doubles bit-exact instead of decimal.)
 // Decoders reject bad magic, truncation, trailing bytes, and corrupt
-// boolean/scheme flags with std::runtime_error.
+// boolean/scheme flags with std::runtime_error; the FPC1 decoder
+// additionally rejects any frame whose trailing checksum does not match,
+// so a torn or bit-flipped checkpoint can never be resumed from.
 
 #pragma once
 
@@ -115,5 +133,48 @@ WireBuffer encode_update(const ClientUpdate& message);
 ClientUpdate decode_update(std::span<const std::uint8_t> buffer);
 WireBuffer encode_partial_sum(const PartialSumUpdate& message);
 PartialSumUpdate decode_partial_sum(std::span<const std::uint8_t> buffer);
+
+// ---------------------------------------------------------------------------
+// FPC1: the crash-recovery checkpoint payload (core/checkpoint.h owns the
+// file-level manager — atomic writes, retention, discovery).
+//
+// Everything the trainer needs to continue a run bit-identically to one
+// that never stopped: the exact parameter vector, the effective mu and
+// the mutable adaptive/theory controller state, the device registry's
+// live-population bitmask (sim/churn.h), and the TrainHistory recorded so
+// far. RNG streams are counter-keyed by (seed, round, ...), so "RNG
+// state" is just `seed` + `next_round` — no engine state to snapshot.
+
+struct CheckpointState {
+  std::uint64_t fingerprint = 0;  // config_fingerprint of the producing run
+  std::uint64_t seed = 0;
+  std::uint64_t next_round = 0;   // first round the resumed run executes
+  std::uint64_t first_round = 0;  // the producing run's warm-start offset
+  double mu = 0.0;                // effective mu for next_round
+
+  // AdaptiveMu / DissimilarityMu mutable state (core/adaptive_mu.h).
+  bool has_adaptive = false;
+  double adaptive_mu = 0.0;
+  double adaptive_last_loss = 0.0;
+  bool adaptive_has_last = false;
+  std::uint64_t adaptive_consecutive_decreases = 0;
+  bool has_theory = false;
+  double theory_mu = 0.0;
+  double theory_b_sq_ema = 1.0;
+  bool theory_has_estimate = false;
+
+  Vector parameters;  // the global model, bit-exact
+
+  // Device registry snapshot (closed world: population bits all set).
+  std::uint64_t population = 0;
+  std::uint64_t churn_arrivals = 0;
+  std::uint64_t churn_departures = 0;
+  std::vector<std::uint8_t> active;  // packed bitmask, (population+7)/8
+
+  std::vector<RoundMetrics> rounds;  // TrainHistory recorded so far
+};
+
+WireBuffer encode_checkpoint_state(const CheckpointState& state);
+CheckpointState decode_checkpoint_state(std::span<const std::uint8_t> buffer);
 
 }  // namespace fed

@@ -1,0 +1,432 @@
+// Crash recovery (core/checkpoint.h): the FPC1 snapshot round-trips
+// bit-exactly and rejects any damage, the CheckpointWriter is atomic and
+// retention-bounded, the trainer writes on the configured cadence, and —
+// the central contract — a crashed-and-resumed run reproduces the
+// uninterrupted TrainHistory bit-for-bit, including under channel
+// faults, open-world churn, and a different thread/shard count after the
+// resume. Also covers the telemetry resume semantics the bench layer
+// relies on: JsonlTraceSink append mode and counter seeding from a
+// published exposition file.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/logistic.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
+#include "obs/trace_sink.h"
+#include "support/log.h"
+#include "support/serialize.h"
+
+namespace fed {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kWarn); }
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "fedprox_checkpoint_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static const FederatedDataset& data() {
+    static const FederatedDataset d = [] {
+      SyntheticConfig c = synthetic_config(0.5, 0.5, 33);
+      c.num_devices = 12;
+      c.min_samples = 15;
+      c.mean_log = 2.5;
+      c.sigma_log = 0.5;
+      return make_synthetic(c);
+    }();
+    return d;
+  }
+
+  static TrainerConfig config() {
+    TrainerConfig c = fedprox_config(0.5);
+    c.rounds = 12;
+    c.devices_per_round = 4;
+    c.systems.epochs = 3;
+    c.systems.straggler_fraction = 0.5;
+    c.learning_rate = 0.03;
+    c.seed = 33;
+    c.eval_every = 3;
+    return c;
+  }
+
+  // A fully-populated snapshot exercising every optional field.
+  static CheckpointState sample_state() {
+    CheckpointState state;
+    state.fingerprint = 0x1234abcd5678ef01ull;
+    state.seed = 42;
+    state.next_round = 9;
+    state.first_round = 2;
+    state.mu = 0.75;
+    state.has_adaptive = true;
+    state.adaptive_mu = 0.5;
+    state.adaptive_last_loss = 1.25;
+    state.adaptive_has_last = true;
+    state.adaptive_consecutive_decreases = 3;
+    state.parameters = Vector{0.5, -1.25, 3.0, 0.0};
+    state.population = 10;
+    state.churn_arrivals = 7;
+    state.churn_departures = 5;
+    state.active = {0xAF, 0x02};
+    RoundMetrics m;
+    m.round = 8;
+    m.train_loss = 0.5;
+    m.train_accuracy = 0.75;
+    m.test_accuracy = 0.625;
+    m.dissimilarity_b = 1.5;
+    m.mu = 0.75;
+    m.mean_gamma = 0.125;
+    m.contributors = 4;
+    m.stragglers = 2;
+    state.rounds = {RoundMetrics{.round = 7, .mu = 0.5}, m};
+    return state;
+  }
+
+  // Runs config `c` to completion; on a planned crash, resumes from the
+  // newest checkpoint (repeatedly, in case a second crash is armed by
+  // the caller between calls) and returns the combined history.
+  static TrainHistory run_with_recovery(const Model& model, TrainerConfig c,
+                                        const std::string& dir) {
+    c.checkpoint.dir = dir;
+    for (;;) {
+      try {
+        Trainer trainer(model, data(), c);
+        if (auto newest = latest_checkpoint(dir)) {
+          return trainer.resume(*newest);
+        }
+        return trainer.run();
+      } catch (const ServerCrashed&) {
+        c.crash = {};  // the next segment's server stays up
+      }
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, StateRoundTripsBitExact) {
+  const CheckpointState state = sample_state();
+  const WireBuffer wire = encode_checkpoint_state(state);
+  const CheckpointState back =
+      decode_checkpoint_state(std::span<const std::uint8_t>(wire));
+  EXPECT_EQ(back.fingerprint, state.fingerprint);
+  EXPECT_EQ(back.seed, state.seed);
+  EXPECT_EQ(back.next_round, state.next_round);
+  EXPECT_EQ(back.first_round, state.first_round);
+  EXPECT_EQ(back.mu, state.mu);
+  EXPECT_TRUE(back.has_adaptive);
+  EXPECT_EQ(back.adaptive_mu, state.adaptive_mu);
+  EXPECT_EQ(back.adaptive_last_loss, state.adaptive_last_loss);
+  EXPECT_TRUE(back.adaptive_has_last);
+  EXPECT_EQ(back.adaptive_consecutive_decreases, 3u);
+  EXPECT_FALSE(back.has_theory);
+  EXPECT_EQ(back.parameters, state.parameters);
+  EXPECT_EQ(back.population, state.population);
+  EXPECT_EQ(back.churn_arrivals, state.churn_arrivals);
+  EXPECT_EQ(back.churn_departures, state.churn_departures);
+  EXPECT_EQ(back.active, state.active);
+  ASSERT_EQ(back.rounds.size(), 2u);
+  EXPECT_EQ(back.rounds[0].round, 7u);
+  EXPECT_FALSE(back.rounds[0].evaluated());
+  EXPECT_EQ(back.rounds[1].train_loss, state.rounds[1].train_loss);
+  EXPECT_EQ(back.rounds[1].mean_gamma, state.rounds[1].mean_gamma);
+  EXPECT_EQ(back.rounds[1].stragglers, 2u);
+}
+
+TEST_F(CheckpointTest, EveryBitFlipIsRejected) {
+  // The FNV-1a trailer covers the whole frame: flipping ANY single bit —
+  // header, payload, or the checksum itself — must fail the load.
+  const WireBuffer wire = encode_checkpoint_state(sample_state());
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    WireBuffer damaged = wire;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_THROW(
+        (void)decode_checkpoint_state(std::span<const std::uint8_t>(damaged)),
+        std::runtime_error)
+        << "flip of bit " << bit << " was not detected";
+  }
+}
+
+TEST_F(CheckpointTest, TruncationAndTrailingBytesAreRejected) {
+  const WireBuffer wire = encode_checkpoint_state(sample_state());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    WireBuffer prefix(wire.begin(),
+                      wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(
+        (void)decode_checkpoint_state(std::span<const std::uint8_t>(prefix)),
+        std::runtime_error)
+        << "prefix of " << len << " bytes was not rejected";
+  }
+  WireBuffer extended = wire;
+  extended.push_back(0x00);
+  EXPECT_THROW(
+      (void)decode_checkpoint_state(std::span<const std::uint8_t>(extended)),
+      std::runtime_error);
+}
+
+TEST_F(CheckpointTest, SaveLoadIsAtomicOnDisk) {
+  const CheckpointState state = sample_state();
+  const std::string path = dir_ + "/ckpt-000000000008.fpc";
+  save_checkpoint_state(path, state);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  // temp+rename leaves no intermediate file behind.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".fpc")
+        << "stray file " << entry.path();
+  }
+  const CheckpointState back = load_checkpoint_state(path);
+  EXPECT_EQ(back.parameters, state.parameters);
+  EXPECT_EQ(back.next_round, state.next_round);
+  EXPECT_THROW((void)load_checkpoint_state(dir_ + "/absent.fpc"),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointTest, CorruptFileOnDiskIsRejected) {
+  const std::string path = dir_ + "/ckpt-000000000008.fpc";
+  save_checkpoint_state(path, sample_state());
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(12);
+  file.put('\x7f');
+  file.close();
+  EXPECT_THROW((void)load_checkpoint_state(path), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, WriterPrunesBeyondRetention) {
+  CheckpointConfig config;
+  config.dir = dir_;
+  config.every = 1;
+  config.retain = 2;
+  CheckpointWriter writer(config);
+  CheckpointState state = sample_state();
+  for (std::uint64_t round = 1; round <= 5; ++round) {
+    state.next_round = round + 1;  // names the file ckpt-<round>.fpc
+    const auto info = writer.write(state);
+    EXPECT_GT(info.bytes, 0u);
+    EXPECT_LE(info.generations, config.retain);
+  }
+  const auto files = list_checkpoints(dir_);
+  ASSERT_EQ(files.size(), 2u);  // only the newest two generations remain
+  EXPECT_NE(files[0].find("ckpt-000000000004.fpc"), std::string::npos);
+  EXPECT_NE(files[1].find("ckpt-000000000005.fpc"), std::string::npos);
+  EXPECT_EQ(latest_checkpoint(dir_), files[1]);
+  EXPECT_EQ(load_checkpoint_state(files[1]).next_round, 6u);
+}
+
+TEST_F(CheckpointTest, TrainerWritesOnTheConfiguredCadence) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TrainerConfig c = config();  // 12 rounds
+  c.checkpoint.dir = dir_;
+  c.checkpoint.every = 5;
+  c.checkpoint.retain = 10;
+  (void)Trainer(model, data(), c).run();
+  const auto files = list_checkpoints(dir_);
+  ASSERT_EQ(files.size(), 2u);  // after rounds 5 and 10 only
+  EXPECT_EQ(load_checkpoint_state(files[0]).next_round, 6u);
+  EXPECT_EQ(load_checkpoint_state(files[1]).next_round, 11u);
+}
+
+TEST_F(CheckpointTest, CheckpointingItselfNeverChangesHistory) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  const TrainHistory plain = Trainer(model, data(), config()).run();
+  TrainerConfig c = config();
+  c.checkpoint.dir = dir_;
+  c.checkpoint.every = 2;
+  const TrainHistory checkpointed = Trainer(model, data(), c).run();
+  EXPECT_EQ(plain.final_parameters, checkpointed.final_parameters);
+  ASSERT_EQ(plain.rounds.size(), checkpointed.rounds.size());
+}
+
+TEST_F(CheckpointTest, CrashAndResumeIsBitIdentical) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  const TrainHistory reference = Trainer(model, data(), config()).run();
+
+  TrainerConfig c = config();
+  c.checkpoint.every = 4;
+  c.crash.at_round = 9;  // dies mid-aggregation; newest checkpoint: round 8
+  const TrainHistory resumed = run_with_recovery(model, c, dir_);
+
+  EXPECT_EQ(reference.final_parameters, resumed.final_parameters);
+  ASSERT_EQ(reference.rounds.size(), resumed.rounds.size());
+  for (std::size_t i = 0; i < reference.rounds.size(); ++i) {
+    EXPECT_EQ(reference.rounds[i].round, resumed.rounds[i].round);
+    EXPECT_EQ(reference.rounds[i].train_loss, resumed.rounds[i].train_loss);
+    EXPECT_EQ(reference.rounds[i].mu, resumed.rounds[i].mu);
+    EXPECT_EQ(reference.rounds[i].contributors,
+              resumed.rounds[i].contributors);
+  }
+}
+
+TEST_F(CheckpointTest, ResumeMayChangeThreadsAndShards) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TrainerConfig reference_config = config();
+  reference_config.threads = 1;
+  const TrainHistory reference =
+      Trainer(model, data(), reference_config).run();
+
+  // Crash a single-threaded, unsharded run; resume with 4 threads and 3
+  // aggregator shards. Both knobs are excluded from the fingerprint and
+  // bit-identity-neutral by contract.
+  TrainerConfig crashed = config();
+  crashed.threads = 1;
+  crashed.checkpoint.dir = dir_;
+  crashed.checkpoint.every = 4;
+  crashed.crash.at_round = 7;
+  try {
+    (void)Trainer(model, data(), crashed).run();
+    FAIL() << "planned crash did not fire";
+  } catch (const ServerCrashed& crash) {
+    EXPECT_EQ(crash.round(), 7u);
+  }
+  TrainerConfig resumed_config = config();
+  resumed_config.threads = 4;
+  resumed_config.shards = 3;
+  resumed_config.checkpoint.dir = dir_;
+  resumed_config.checkpoint.every = 4;
+  const auto newest = latest_checkpoint(dir_);
+  ASSERT_TRUE(newest.has_value());
+  const TrainHistory resumed =
+      Trainer(model, data(), resumed_config).resume(*newest);
+  EXPECT_EQ(reference.final_parameters, resumed.final_parameters);
+  EXPECT_EQ(reference.rounds.size(), resumed.rounds.size());
+}
+
+TEST_F(CheckpointTest, ResumeUnderChannelFaultsAndChurn) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TrainerConfig c = config();
+  c.faults.drop = 0.2;
+  c.faults.corrupt = 0.05;
+  c.recovery.max_retries = 2;
+  c.churn.arrive = 0.1;
+  c.churn.depart = 0.1;
+  const TrainHistory reference = Trainer(model, data(), c).run();
+
+  TrainerConfig crashed = c;
+  crashed.checkpoint.every = 3;
+  crashed.crash.at_round = 8;
+  const TrainHistory resumed = run_with_recovery(model, crashed, dir_);
+  EXPECT_EQ(reference.final_parameters, resumed.final_parameters);
+  ASSERT_EQ(reference.rounds.size(), resumed.rounds.size());
+  for (std::size_t i = 0; i < reference.rounds.size(); ++i) {
+    EXPECT_EQ(reference.rounds[i].contributors,
+              resumed.rounds[i].contributors);
+    EXPECT_EQ(reference.rounds[i].train_loss, resumed.rounds[i].train_loss);
+  }
+}
+
+TEST_F(CheckpointTest, AdaptiveMuStateSurvivesTheCrash) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TrainerConfig c = config();
+  c.eval_every = 1;  // adaptive mu moves on evaluated rounds
+  c.adaptive_mu.enabled = true;
+  c.adaptive_mu.initial_mu = 0.5;
+  c.adaptive_mu.step = 0.1;
+  c.adaptive_mu.patience = 2;
+  const TrainHistory reference = Trainer(model, data(), c).run();
+
+  TrainerConfig crashed = c;
+  crashed.checkpoint.every = 4;
+  crashed.crash.at_round = 10;
+  const TrainHistory resumed = run_with_recovery(model, crashed, dir_);
+  ASSERT_EQ(reference.rounds.size(), resumed.rounds.size());
+  for (std::size_t i = 0; i < reference.rounds.size(); ++i) {
+    EXPECT_EQ(reference.rounds[i].mu, resumed.rounds[i].mu)
+        << "adaptive mu diverged at round " << reference.rounds[i].round;
+  }
+  EXPECT_EQ(reference.final_parameters, resumed.final_parameters);
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchRefusesToResume) {
+  LogisticRegression model(data().input_dim, data().num_classes);
+  TrainerConfig c = config();
+  c.checkpoint.dir = dir_;
+  c.checkpoint.every = 4;
+  (void)Trainer(model, data(), c).run();
+  const auto newest = latest_checkpoint(dir_);
+  ASSERT_TRUE(newest.has_value());
+
+  TrainerConfig other = config();
+  other.seed = c.seed + 1;  // any trajectory-relevant knob must be caught
+  Trainer mismatched(model, data(), other);
+  EXPECT_THROW((void)mismatched.resume(*newest), std::runtime_error);
+
+  TrainerConfig same = config();
+  same.threads = 8;  // neutral knobs must NOT be caught
+  const TrainHistory ok = Trainer(model, data(), same).resume(*newest);
+  EXPECT_FALSE(ok.rounds.empty());
+}
+
+TEST_F(CheckpointTest, JsonlSinkAppendKeepsEarlierSegments) {
+  const std::string path = dir_ + "/trace.jsonl";
+  RunInfo info;
+  info.algorithm = "FedProx";
+  info.rounds = 2;
+  RoundMetrics metrics;
+  RoundTrace trace;
+  {
+    JsonlTraceSink sink(path);
+    sink.begin_run(info);
+    metrics.round = trace.round = 1;
+    sink.write(metrics, trace);
+  }
+  {
+    RunInfo resumed = info;
+    resumed.resumed = true;
+    resumed.first_round = 1;
+    JsonlTraceSink sink(path, RotationPolicy{},
+                        JsonlTraceSink::OpenMode::kAppend);
+    sink.begin_run(resumed);
+    metrics.round = trace.round = 2;
+    sink.write(metrics, trace);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // truncation would have kept only two
+  EXPECT_NE(lines[0].find("\"resumed\":false"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"resumed\":true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"first_round\":1"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, CounterSeedingCarriesTotalsAcrossACrash) {
+  std::filesystem::create_directories(dir_);
+  const std::string path = dir_ + "/metrics.prom";
+  {
+    std::ofstream out(path);
+    out << "# HELP fed_comm_bytes_down_total bytes\n"
+        << "# TYPE fed_comm_bytes_down_total counter\n"
+        << "fed_comm_bytes_down_total 12345\n"
+        << "# TYPE fed_comm_faults_total counter\n"
+        << "fed_comm_faults_total{kind=\"drop\"} 17\n"
+        << "# TYPE fed_rounds_total gauge\n"
+        << "fed_rounds_total 99\n";  // gauges are rebuilt, never seeded
+  }
+  MetricsRegistry registry;
+  EXPECT_EQ(seed_counters_from_exposition(registry, path), 2u);
+  EXPECT_EQ(registry.counter("fed_comm_bytes_down_total").value(), 12345u);
+  EXPECT_EQ(registry.counter("fed_comm_faults_total", {{"kind", "drop"}})
+                .value(),
+            17u);
+  EXPECT_EQ(registry.gauge("fed_rounds_total").value(), 0.0);
+  // A missing file is a fresh start, not an error.
+  EXPECT_EQ(seed_counters_from_exposition(registry, dir_ + "/absent.prom"),
+            0u);
+}
+
+}  // namespace
+}  // namespace fed

@@ -1,10 +1,14 @@
-// Corruption fuzz for the FPB1/FPU1/FPS1 wire decoders: feed thousands
-// of randomly mutated (bit-flipped, truncated, extended, spliced) valid
-// encodings through decode_broadcast/decode_update/decode_partial_sum
-// and require that every outcome is either a successful decode or a
-// clean std::runtime_error — never any other exception type, crash, or
-// sanitizer finding. The ASan/UBSan and TSan CI jobs run this test, so
-// out-of-bounds reads in the decoders' length handling fail loudly.
+// Corruption fuzz for the FPB1/FPU1/FPS1/FPC1 wire decoders: feed
+// thousands of randomly mutated (bit-flipped, truncated, extended,
+// spliced) valid encodings through decode_broadcast/decode_update/
+// decode_partial_sum/decode_checkpoint_state and require that every
+// outcome is either a successful decode or a clean std::runtime_error —
+// never any other exception type, crash, or sanitizer finding. The
+// ASan/UBSan and TSan CI jobs run this test, so out-of-bounds reads in
+// the decoders' length handling fail loudly. The checkpoint frame is
+// held to a stricter bar: its FNV-1a trailer covers the whole frame, so
+// EVERY mutation that changes the bytes must be rejected (a silently
+// accepted mutation could resume training from corrupt state).
 
 #include <gtest/gtest.h>
 
@@ -136,6 +140,37 @@ class SerializeFuzzTest : public ::testing::Test {
     p.partial.accumulate({5, &update, 7.0});
     return encode_partial_sum(p);
   }
+
+  static WireBuffer valid_checkpoint() {
+    CheckpointState state;
+    state.fingerprint = 0xfeedfacecafebeefull;
+    state.seed = 7;
+    state.next_round = 41;
+    state.mu = 0.5;
+    state.has_adaptive = true;
+    state.adaptive_mu = 0.25;
+    state.adaptive_last_loss = 1.5;
+    state.adaptive_has_last = true;
+    state.adaptive_consecutive_decreases = 2;
+    state.parameters = Vector(23);
+    for (std::size_t i = 0; i < state.parameters.size(); ++i) {
+      state.parameters[i] = 0.5 * static_cast<double>(i) - 4.0;
+    }
+    state.population = 30;
+    state.churn_arrivals = 11;
+    state.churn_departures = 9;
+    state.active = std::vector<std::uint8_t>(4, 0xB7);
+    RoundMetrics m;
+    m.round = 40;
+    m.train_loss = 0.75;
+    m.train_accuracy = 0.5;
+    m.test_accuracy = 0.625;
+    m.mu = 0.5;
+    m.contributors = 8;
+    m.stragglers = 3;
+    state.rounds = {RoundMetrics{.round = 39, .mu = 0.5}, m};
+    return encode_checkpoint_state(state);
+  }
 };
 
 TEST_F(SerializeFuzzTest, MutatedBroadcastsDecodeOrRejectCleanly) {
@@ -183,14 +218,66 @@ TEST_F(SerializeFuzzTest, MutatedPartialSumsDecodeOrRejectCleanly) {
   EXPECT_GT(rejected, kSeeds / 2);
 }
 
+TEST_F(SerializeFuzzTest, MutatedCheckpointsAreAlwaysRejected) {
+  // Unlike the channel frames, the checkpoint trailer checksums the
+  // whole frame, so NO byte-changing mutation may survive: a mutation
+  // either leaves the buffer bit-identical or the decode throws.
+  const WireBuffer wire = valid_checkpoint();
+  std::size_t unchanged = 0;
+  for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(seed, {static_cast<std::uint64_t>(StreamKind::kTest), 4});
+    const WireBuffer damaged = mutate(wire, rng);
+    if (damaged == wire) {
+      ++unchanged;  // e.g. an 8-byte window overwritten with itself
+      continue;
+    }
+    EXPECT_THROW((void)decode_checkpoint_state(
+                     std::span<const std::uint8_t>(damaged)),
+                 std::runtime_error)
+        << "mutation seed " << seed << " survived the checksum";
+  }
+  EXPECT_LT(unchanged, kSeeds / 10);
+}
+
+TEST_F(SerializeFuzzTest, CheckpointChecksumTrailerCatchesTargetedFlips) {
+  // Flip exactly one bit in the trailer itself and in the first payload
+  // byte after the header — the two cheapest-to-miss spots.
+  const WireBuffer wire = valid_checkpoint();
+  for (const std::size_t byte :
+       {wire.size() - 1, wire.size() - 8, std::size_t{12}, std::size_t{4}}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      WireBuffer damaged = wire;
+      damaged[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_THROW((void)decode_checkpoint_state(
+                       std::span<const std::uint8_t>(damaged)),
+                   std::runtime_error)
+          << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST_F(SerializeFuzzTest, CheckpointTruncationsAreAllRejected) {
+  const WireBuffer wire = valid_checkpoint();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    WireBuffer prefix(wire.begin(),
+                      wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)decode_checkpoint_state(
+                     std::span<const std::uint8_t>(prefix)),
+                 std::runtime_error)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
 TEST_F(SerializeFuzzTest, DegenerateBuffersAreRejected) {
   for (const WireBuffer& buffer :
        {WireBuffer{}, WireBuffer{0x00}, WireBuffer{'F', 'P', 'B', '1'},
         WireBuffer{'F', 'P', 'U', '1'}, WireBuffer{'F', 'P', 'S', '1'},
-        WireBuffer(3, 0xFF), WireBuffer(11, 0xAB)}) {
+        WireBuffer{'F', 'P', 'C', '1'}, WireBuffer(3, 0xFF),
+        WireBuffer(11, 0xAB)}) {
     EXPECT_THROW((void)decode_broadcast(buffer), std::runtime_error);
     EXPECT_THROW((void)decode_update(buffer), std::runtime_error);
     EXPECT_THROW((void)decode_partial_sum(buffer), std::runtime_error);
+    EXPECT_THROW((void)decode_checkpoint_state(buffer), std::runtime_error);
   }
 }
 
@@ -211,6 +298,11 @@ TEST_F(SerializeFuzzTest, IntactBuffersStillRoundTrip) {
   EXPECT_EQ(p.shard, 2u);
   EXPECT_EQ(p.partial.dim(), 9u);
   EXPECT_EQ(p.partial.contributors(), 2u);
+  const CheckpointState s =
+      decode_checkpoint_state(std::span<const std::uint8_t>(valid_checkpoint()));
+  EXPECT_EQ(s.next_round, 41u);
+  EXPECT_EQ(s.parameters.size(), 23u);
+  EXPECT_EQ(s.rounds.size(), 2u);
 }
 
 }  // namespace

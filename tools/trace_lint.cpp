@@ -5,18 +5,33 @@
 //   trace_lint --metrics metrics.prom    # Prometheus exposition (obs/
 //                                        # exposition); cross-checked
 //                                        # against --jsonl when both given
+//   trace_lint --jsonl run.jsonl --checkpoint
+//                                        # additionally audit the
+//                                        # checkpoint/resume manifest
+//                                        # embedded in the round trace
 //
-// JSONL checks: every line parses as a JSON object, the first line is the
-// run header ({"run":{...}}), every later line carries a "round", and the
-// transport byte/fault accounting holds — bytes_down/bytes_up and the
-// "faults" object present on every round line, bytes non-zero exactly
-// when attempts were made / deliveries charged, and divisible by the
-// attempt / delivery count (every device moves the same wire-format
-// payload within a round, per attempt); retries reconcile with the
-// failed-attempt counts, and a degraded round has zero contributors.
+// JSONL checks: every line parses as a JSON object, the first line is a
+// run header ({"run":{...}}), every later line carries a "round" or is a
+// new segment header (a crashed-and-resumed run appends one header per
+// segment; mid-file headers must carry "resumed": true and a
+// "first_round", and the first round line after one must continue at
+// first_round + 1), and the transport byte/fault accounting holds —
+// bytes_down/bytes_up and the "faults" object present on every round
+// line, bytes non-zero exactly when attempts were made / deliveries
+// charged, and divisible by the attempt / delivery count (every device
+// moves the same wire-format payload within a round, per attempt);
+// retries reconcile with the failed-attempt counts, and a degraded round
+// has zero contributors.
 // The per-shard block ("shards") must partition the round: shard device,
 // contributor, and byte columns sum to the round totals, and every shard
 // ships a non-empty FPS1 partial to the root.
+// Checkpoint checks (--checkpoint, needs --jsonl): every "checkpoint"
+// block names the round of its own line, reports non-zero bytes, and
+// honors the generation bound (generations <= retain); checkpoint rounds
+// are strictly increasing across the whole trace; every resumed segment
+// starts from the newest checkpoint written before it (resume round ==
+// checkpoint round, first executed round == checkpoint round + 1); and
+// at least one checkpoint was written.
 // Chrome checks: the document parses, traceEvents is non-empty, "X"
 // events nest properly per thread (a stack check over ts/dur), async
 // "b"/"e" pairs match up by id, flow "s"/"f" pairs balance per id with
@@ -73,6 +88,10 @@ struct JsonlTotals {
   std::uint64_t partial_bytes = 0;
   std::uint64_t retries = 0;
   std::uint64_t degraded_rounds = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t checkpoint_writes = 0;
+  std::uint64_t checkpoint_bytes = 0;
   // Keyed by the FaultEvent kind slug used in the metrics `kind` label.
   std::map<std::string, std::uint64_t> faults;
 };
@@ -96,7 +115,8 @@ void check_round_line(const std::string& path, std::size_t lineno,
   const JsonValue& faults = value.at("faults");
   for (const char* key :
        {"attempts", "retries", "drops", "corruptions", "timeouts",
-        "duplicates", "quorum_drops", "failed_devices", "up_deliveries"}) {
+        "duplicates", "quorum_drops", "departs", "failed_devices",
+        "up_deliveries"}) {
     if (!faults.contains(key)) {
       fail(where + ": faults object lacks \"" + std::string(key) + "\"");
     }
@@ -221,49 +241,174 @@ void check_round_line(const std::string& path, std::size_t lineno,
   }
   totals.retries += retries;
   if (degraded) ++totals.degraded_rounds;
+  if (value.contains("arrivals")) totals.arrivals += count(value, "arrivals");
+  if (value.contains("departures")) {
+    totals.departures += count(value, "departures");
+  }
   totals.faults["drop"] += count(faults, "drops");
   totals.faults["corrupt"] += count(faults, "corruptions");
   totals.faults["timeout"] += count(faults, "timeouts");
   totals.faults["duplicate"] += count(faults, "duplicates");
   totals.faults["quorum_drop"] += count(faults, "quorum_drops");
+  totals.faults["depart"] += count(faults, "departs");
   totals.faults["device_failed"] += count(faults, "failed_devices");
   totals.faults["round_degraded"] += degraded ? 1 : 0;
 }
 
-JsonlTotals lint_jsonl(const std::string& path) {
+// Audits one round line's embedded "checkpoint" block and the
+// cross-segment manifest invariants it participates in.
+void check_checkpoint_block(const std::string& where, const JsonValue& value,
+                            std::uint64_t round_id, bool& have_checkpoint,
+                            std::uint64_t& last_checkpoint_round,
+                            std::set<std::uint64_t>& checkpoint_rounds,
+                            JsonlTotals& totals) {
+  const JsonValue& ckpt = value.at("checkpoint");
+  for (const char* key : {"round", "bytes", "generations", "retain",
+                          "write_s"}) {
+    if (!ckpt.contains(key)) {
+      fail(where + ": checkpoint block lacks \"" + std::string(key) + "\"");
+    }
+  }
+  const auto count = [&](const char* key) {
+    return static_cast<std::uint64_t>(ckpt.at(key).as_number());
+  };
+  const std::uint64_t ckpt_round = count("round");
+  const std::uint64_t bytes = count("bytes");
+  const std::uint64_t generations = count("generations");
+  const std::uint64_t retain = count("retain");
+  if (ckpt_round != round_id) {
+    fail(where + ": checkpoint.round=" + std::to_string(ckpt_round) +
+         " != the line's round=" + std::to_string(round_id));
+  }
+  if (bytes == 0) fail(where + ": checkpoint block reports zero bytes");
+  if (generations == 0) {
+    fail(where + ": checkpoint block reports zero retained generations");
+  }
+  if (retain > 0 && generations > retain) {
+    fail(where + ": " + std::to_string(generations) +
+         " checkpoint generations on disk, above the retain bound " +
+         std::to_string(retain));
+  }
+  // Strictly increasing within a segment; lint_jsonl rewinds
+  // last_checkpoint_round at a resume boundary, because a segment
+  // resumed from an older generation legitimately re-writes rounds the
+  // crashed segment already checkpointed.
+  if (have_checkpoint && ckpt_round <= last_checkpoint_round) {
+    fail(where + ": checkpoint rounds are not strictly increasing (" +
+         std::to_string(ckpt_round) + " after " +
+         std::to_string(last_checkpoint_round) + ")");
+  }
+  have_checkpoint = true;
+  last_checkpoint_round = ckpt_round;
+  checkpoint_rounds.insert(ckpt_round);
+  ++totals.checkpoint_writes;
+  totals.checkpoint_bytes += bytes;
+}
+
+// Multi-segment aware: a crashed-and-resumed run appends one run header
+// per segment to the same file; mid-file headers must be marked
+// "resumed" and the resumed segment must pick up exactly one round after
+// the checkpoint it restarted from. With `checkpoint_mode`, the embedded
+// checkpoint blocks are audited as a manifest (see the file comment).
+JsonlTotals lint_jsonl(const std::string& path, bool checkpoint_mode) {
   std::ifstream in(path);
   if (!in) fail("cannot open " + path);
   JsonlTotals totals;
   std::string line;
   std::size_t lineno = 0;
   std::size_t rounds = 0;
+  std::size_t segments = 0;
+  bool have_checkpoint = false;
+  std::uint64_t last_checkpoint_round = 0;
+  std::set<std::uint64_t> checkpoint_rounds;
+  bool expect_resume_round = false;  // next round line opens a resumed segment
+  std::uint64_t resume_first_round = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
+    const std::string where = path + ":" + std::to_string(lineno);
     JsonValue value;
     try {
       value = fed::parse_json(line);
     } catch (const std::exception& e) {
-      fail(path + ":" + std::to_string(lineno) + ": parse error: " + e.what());
+      fail(where + ": parse error: " + e.what());
     }
     if (!value.is_object()) {
-      fail(path + ":" + std::to_string(lineno) + ": line is not an object");
+      fail(where + ": line is not an object");
     }
-    if (lineno == 1) {
-      if (!value.contains("run")) {
-        fail(path + ":1: header line lacks \"run\"");
+    if (value.contains("run")) {
+      ++segments;
+      const JsonValue& run = value.at("run");
+      const bool resumed =
+          run.contains("resumed") && run.at("resumed").as_bool();
+      if (segments > 1 && !resumed) {
+        fail(where + ": mid-file run header is not marked \"resumed\" "
+                     "(only a resumed run may append a new segment)");
       }
-    } else if (!value.contains("round")) {
-      fail(path + ":" + std::to_string(lineno) + ": line lacks \"round\"");
-    } else {
-      ++rounds;
-      check_round_line(path, lineno, value, totals);
+      if (resumed) {
+        if (!run.contains("first_round")) {
+          fail(where + ": resumed run header lacks \"first_round\"");
+        }
+        resume_first_round =
+            static_cast<std::uint64_t>(run.at("first_round").as_number());
+        expect_resume_round = true;
+        if (checkpoint_mode) {
+          if (!have_checkpoint) {
+            fail(where + ": segment resumed from round " +
+                 std::to_string(resume_first_round) +
+                 " but no checkpoint was written before it");
+          }
+          // Any recorded generation is a legal resume point — retention
+          // keeps several precisely so a run can fall back past a lost
+          // or corrupted newest checkpoint.
+          if (!checkpoint_rounds.contains(resume_first_round)) {
+            fail(where + ": segment resumed from round " +
+                 std::to_string(resume_first_round) +
+                 " but no prior segment checkpointed that round (newest "
+                 "recorded: " +
+                 std::to_string(last_checkpoint_round) + ")");
+          }
+          // Rewind the monotonicity cursor: the resumed segment re-runs
+          // rounds after the resume point and may re-write checkpoints
+          // the crashed segment already recorded.
+          last_checkpoint_round = resume_first_round;
+        }
+      }
+      continue;
+    }
+    if (segments == 0) fail(path + ":1: header line lacks \"run\"");
+    if (!value.contains("round")) fail(where + ": line lacks \"round\"");
+    ++rounds;
+    const auto round_id =
+        static_cast<std::uint64_t>(value.at("round").as_number());
+    if (expect_resume_round) {
+      if (round_id != resume_first_round + 1) {
+        fail(where + ": resumed segment opens with round " +
+             std::to_string(round_id) + " but resumed from round " +
+             std::to_string(resume_first_round) + " (must continue at " +
+             std::to_string(resume_first_round + 1) + ")");
+      }
+      expect_resume_round = false;
+    }
+    check_round_line(path, lineno, value, totals);
+    if (value.contains("checkpoint")) {
+      check_checkpoint_block(where, value, round_id, have_checkpoint,
+                             last_checkpoint_round, checkpoint_rounds,
+                             totals);
     }
   }
   if (lineno == 0) fail(path + ": empty file");
   if (rounds == 0) fail(path + ": no round lines after the header");
-  std::cout << "trace_lint: " << path << " ok (" << rounds
-            << " round lines)\n";
+  if (expect_resume_round) fail(path + ": resumed segment has no round lines");
+  if (checkpoint_mode && totals.checkpoint_writes == 0) {
+    fail(path + ": --checkpoint: the trace has no checkpoint blocks");
+  }
+  std::cout << "trace_lint: " << path << " ok (" << rounds << " round lines";
+  if (segments > 1) std::cout << " across " << segments << " segments";
+  if (checkpoint_mode) {
+    std::cout << ", " << totals.checkpoint_writes << " checkpoint writes";
+  }
+  std::cout << ")\n";
   return totals;
 }
 
@@ -658,6 +803,10 @@ void cross_check(const std::string& path, const Exposition& exposition,
   expect("fed_shard_partial_bytes_total", {}, totals.partial_bytes);
   expect("fed_comm_retries_total", {}, totals.retries);
   expect("fed_comm_rounds_degraded_total", {}, totals.degraded_rounds);
+  expect("fed_churn_arrivals_total", {}, totals.arrivals);
+  expect("fed_churn_departures_total", {}, totals.departures);
+  expect("fed_checkpoint_writes_total", {}, totals.checkpoint_writes);
+  expect("fed_checkpoint_bytes_total", {}, totals.checkpoint_bytes);
   for (const auto& [kind, count] : totals.faults) {
     expect("fed_comm_faults_total", {{"kind", kind}}, count);
   }
@@ -672,13 +821,17 @@ int main(int argc, char** argv) {
   const auto jsonl = flags.get_optional_string("jsonl");
   const auto chrome = flags.get_optional_string("chrome");
   const auto metrics = flags.get_optional_string("metrics");
+  const bool checkpoint = flags.get_bool("checkpoint", false);
   if (!jsonl && !chrome && !metrics) {
     fail(
-        "usage: trace_lint [--jsonl run.jsonl] [--chrome run.trace.json] "
-        "[--metrics metrics.prom]");
+        "usage: trace_lint [--jsonl run.jsonl [--checkpoint]] "
+        "[--chrome run.trace.json] [--metrics metrics.prom]");
+  }
+  if (checkpoint && !jsonl) {
+    fail("--checkpoint audits the JSONL round trace; pass --jsonl too");
   }
   JsonlTotals totals;
-  if (jsonl) totals = lint_jsonl(*jsonl);
+  if (jsonl) totals = lint_jsonl(*jsonl, checkpoint);
   if (chrome) lint_chrome(*chrome);
   if (metrics) {
     const Exposition exposition = lint_metrics(*metrics);
